@@ -1,0 +1,62 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper at the
+``quick`` experiment scale (minutes total on a laptop) and prints the
+same rows/series the paper reports, so the trends can be eyeballed
+directly from the benchmark log.  Pass ``--paper-scale`` to run at the
+paper's sample counts instead (much slower).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run benchmarks at the paper's full sample counts",
+    )
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> ExperimentScale:
+    """Experiment scale: quick by default, paper with --paper-scale."""
+    if request.config.getoption("--paper-scale"):
+        return ExperimentScale.paper()
+    return ExperimentScale.quick()
+
+
+@pytest.fixture(scope="session")
+def image_size(request) -> int:
+    """Benchmark resolution: 14x14 quick, the paper's 28x28 full."""
+    if request.config.getoption("--paper-scale"):
+        return 28
+    return 14
+
+
+@pytest.fixture(scope="session")
+def r_wire(request) -> float:
+    """Wire resistance matched to the benchmark resolution.
+
+    IR-drop severity scales with ``r_wire * rows * mean_conductance``;
+    the quick suite's 196-row crossbar uses 4x the paper's 2.5 Ohm so
+    that it operates in the same IR regime as the paper's 784-row
+    setup (which the --paper-scale runs use directly).
+    """
+    if request.config.getoption("--paper-scale"):
+        return 2.5
+    return 10.0
+
+
+def print_series(title: str, header: str, rows) -> None:
+    """Uniform table printing for the benchmark logs."""
+    print()
+    print(f"=== {title} ===")
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,68 @@
+"""Ablation: gamma-grid resolution in the self-tuning loop.
+
+DESIGN.md decision 5: the Fig. 5 loop scans a discrete grid of gamma
+candidates.  This bench compares coarse and fine grids on the achieved
+deployed (injected) test rate and on tuning cost, quantifying how much
+resolution the selection actually needs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_series
+
+from repro.core.self_tuning import SelfTuningConfig, injected_rate, tune_gamma
+from repro.experiments import get_dataset
+
+GRIDS = {
+    "2-point": (0.0, 0.4),
+    "4-point": (0.0, 0.2, 0.4, 0.8),
+    "8-point": (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0),
+}
+
+
+def _run(scale, image_size):
+    ds = get_dataset(scale, image_size)
+    sigma = 0.8
+    rng_eval = np.random.default_rng(123)
+    thetas = rng_eval.standard_normal((8, ds.n_features, 10))
+    results = {}
+    for name, gammas in GRIDS.items():
+        cfg = SelfTuningConfig(
+            gammas=gammas, n_injections=scale.n_injections,
+            gdt=scale.gdt(),
+        )
+        t0 = time.perf_counter()
+        tuned = tune_gamma(
+            ds.x_train, ds.y_train, 10, sigma, cfg,
+            np.random.default_rng(5),
+        )
+        elapsed = time.perf_counter() - t0
+        deployed = injected_rate(
+            tuned.weights, ds.x_test, ds.y_test, sigma, 8,
+            rng_eval, thetas=thetas,
+        )
+        results[name] = (tuned.best_gamma, deployed, elapsed)
+    return results
+
+
+def test_ablation_gamma_grid(benchmark, scale, image_size):
+    results = benchmark.pedantic(
+        lambda: _run(scale, image_size), rounds=1, iterations=1
+    )
+    print_series(
+        "Ablation - gamma-grid resolution (sigma=0.8)",
+        f"{'grid':>8s} {'chosen gamma':>13s} {'deployed rate':>14s} "
+        f"{'tuning (s)':>11s}",
+        (
+            f"{name:>8s} {g:13.2f} {r:14.3f} {t:11.1f}"
+            for name, (g, r, t) in results.items()
+        ),
+    )
+    # Finer grids cost proportionally more and buy little (or can even
+    # lose a little by overfitting the validation-injection noise):
+    # the selection surface is flat near the peak (Fig. 4).
+    assert results["8-point"][1] >= results["2-point"][1] - 0.06
+    assert results["8-point"][2] > results["2-point"][2]

@@ -1,0 +1,86 @@
+"""Ablation: IR-drop model fidelity vs cost.
+
+DESIGN.md calls out the model split: training loops use the paper's
+cheap beta/D decomposition and the per-column reference-gain read
+model, while the sparse nodal solver is the ground truth.  This bench
+measures the accuracy and the runtime of each read model against the
+nodal solve on a realistic trained crossbar.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from conftest import print_series
+
+from repro.core.old import OLDConfig, train_old
+from repro.experiments import get_dataset
+from repro.xbar.ir_drop import read_column_gains, read_output_currents
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.nodal import CrossbarNetwork
+
+
+def _run(scale, image_size):
+    ds = get_dataset(scale, image_size)
+    weights = train_old(ds.x_train, ds.y_train, 10,
+                        OLDConfig(gdt=scale.gdt())).weights
+    scaler = WeightScaler.for_weights(weights)
+    g_pos, _ = scaler.weights_to_pair(weights)
+    r_wire = 2.5
+    v_read = 1.0
+    x = ds.x_test[:64]
+    x_mean = ds.x_train.mean(axis=0)
+
+    # Ground truth.
+    network = CrossbarNetwork(g_pos, r_wire)
+    t0 = time.perf_counter()
+    exact = np.stack([network.read(row, v_read) for row in x])
+    t_nodal = time.perf_counter() - t0
+
+    results = {}
+    t0 = time.perf_counter()
+    ideal = v_read * (x @ g_pos)
+    t_ideal = time.perf_counter() - t0
+    results["ideal"] = (ideal, t_ideal)
+
+    t0 = time.perf_counter()
+    gains = read_column_gains(g_pos, x_mean, r_wire, v_read)
+    reference = v_read * (x @ g_pos) * gains
+    t_ref = time.perf_counter() - t0
+    results["reference"] = (reference, t_ref)
+
+    t0 = time.perf_counter()
+    fixed_point = read_output_currents(g_pos, x, r_wire, v_read)
+    t_fp = time.perf_counter() - t0
+    results["fixed_point"] = (fixed_point, t_fp)
+
+    errors = {
+        name: float(np.max(np.abs(pred - exact) / np.abs(exact)))
+        for name, (pred, _) in results.items()
+    }
+    times = {name: t for name, (_, t) in results.items()}
+    times["nodal"] = t_nodal
+    return errors, times
+
+
+def test_ablation_ir_models(benchmark, scale, image_size):
+    errors, times = benchmark.pedantic(
+        lambda: _run(scale, image_size), rounds=1, iterations=1
+    )
+    print_series(
+        "Ablation - read-model fidelity vs nodal ground truth "
+        "(64 samples, r_wire=2.5)",
+        f"{'model':>12s} {'max rel err':>13s} {'time (ms)':>11s}",
+        (
+            f"{name:>12s} {errors.get(name, 0.0):13.4f} "
+            f"{1e3 * times[name]:11.2f}"
+            for name in ("ideal", "reference", "fixed_point", "nodal")
+        ),
+    )
+    # Both fast IR-aware models are far more faithful than ignoring
+    # the wires, and far cheaper than the nodal ground truth.
+    assert errors["reference"] < errors["ideal"] / 3
+    assert errors["fixed_point"] < errors["ideal"] / 3
+    assert times["reference"] < times["nodal"] / 10
+    assert errors["fixed_point"] < 0.05

@@ -1,0 +1,56 @@
+"""Ablation: pre-test sense repeats vs variation-estimate quality.
+
+DESIGN.md decision 3: AMP works because *parametric* variation is
+persistent while *switching* (cycle-to-cycle) variation averages out
+under repeated program-and-sense.  This bench sweeps the repeat count
+and reports the theta-estimation error and the downstream mapping
+quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_series
+
+from repro.circuits.adc import ADC
+from repro.config import DeviceConfig, VariationConfig
+from repro.core.pretest import pretest_array
+from repro.devices.memristor import MemristorArray
+
+REPEATS = (1, 2, 4, 8, 16)
+
+
+def _run():
+    device = DeviceConfig()
+    adc = ADC(8, device.g_on)
+    errors = {}
+    for repeats in REPEATS:
+        errs = []
+        for seed in range(4):
+            array = MemristorArray(
+                (64, 10),
+                device=device,
+                variation=VariationConfig(sigma=0.5, sigma_cycle=0.15),
+                rng=np.random.default_rng(seed),
+            )
+            theta_hat = pretest_array(array, adc, repeats=repeats)
+            bulk = np.abs(array.theta) < 1.0
+            errs.append(float(np.mean(
+                np.abs(theta_hat[bulk] - array.theta[bulk])
+            )))
+        errors[repeats] = float(np.mean(errs))
+    return errors
+
+
+def test_ablation_pretest_repeats(benchmark):
+    errors = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_series(
+        "Ablation - pre-test repeats vs theta estimation error "
+        "(sigma=0.5, sigma_cycle=0.15, 8-bit ADC)",
+        f"{'repeats':>8s} {'mean |theta err|':>18s}",
+        (f"{r:8d} {errors[r]:18.4f}" for r in REPEATS),
+    )
+    # Averaging monotonically suppresses cycle noise; one sense is
+    # clearly worse than many.
+    assert errors[1] > errors[16]
+    assert errors[2] >= errors[8] - 1e-3

@@ -1,0 +1,108 @@
+"""Ablation: programming effort vs deployed robustness.
+
+The paper motivates Vortex by the cost of feedback: OLD "eliminates
+the costly feedback control and high-resolution ADC", while CLD senses
+every iteration.  Between them sits industry-standard write-verify
+(per-cell program-and-trim).  This bench positions the schemes on the
+effort/robustness plane: pulses issued per cell vs hardware test rate
+at sigma = 0.8.  Vortex's claim is reaching write-verify-class
+robustness at open-loop programming cost (one pulse per cell plus one
+pre-test pass per chip lifetime).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_series
+
+from repro.config import CrossbarConfig, SensingConfig, VariationConfig
+from repro.core.amp import run_amp
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import OLDConfig, program_pair_open_loop, train_old
+from repro.core.vat import VATConfig, train_vat
+from repro.core.write_verify import (
+    WriteVerifyConfig,
+    program_pair_write_verify,
+)
+from repro.experiments import get_dataset
+from repro.xbar.mapping import WeightScaler
+
+SIGMA = 0.8
+
+
+def _run(scale, image_size):
+    ds = get_dataset(scale, image_size)
+    n = ds.n_features
+    scaler = WeightScaler(1.0)
+    x_mean = ds.x_train.mean(axis=0)
+    old_w = train_old(ds.x_train, ds.y_train, 10,
+                      OLDConfig(gdt=scale.gdt())).weights
+    vat_w = train_vat(
+        ds.x_train, ds.y_train, 10,
+        VATConfig(gamma=0.3, sigma=SIGMA, gdt=scale.gdt()),
+    ).weights
+    spec = HardwareSpec(
+        variation=VariationConfig(sigma=SIGMA),
+        crossbar=CrossbarConfig(rows=n, cols=10, r_wire=0.0),
+        sensing=SensingConfig(adc_bits=6),
+    )
+    cells = 2 * n * 10
+    results = {
+        "OLD": [0.0, 1.0],
+        "write-verify": [0.0, 0.0],
+        "Vortex (VAT+AMP)": [0.0, 1.0],
+    }
+    trials = max(2, scale.mc_trials)
+    for seed in range(trials):
+        rng = np.random.default_rng(4200 + seed)
+        # OLD: one pulse per cell, blind.
+        pair = build_pair(spec, scaler, rng)
+        program_pair_open_loop(pair, old_w)
+        results["OLD"][0] += hardware_test_rate(
+            pair, ds.x_test, ds.y_test, "ideal"
+        )
+        # Write-verify: trained like OLD, trimmed per cell.
+        pair = build_pair(spec, scaler, rng)
+        stats = program_pair_write_verify(
+            pair, old_w, WriteVerifyConfig(adc_bits=6)
+        )
+        results["write-verify"][0] += hardware_test_rate(
+            pair, ds.x_test, ds.y_test, "ideal"
+        )
+        results["write-verify"][1] += stats.total_pulses / cells / trials
+        # Vortex core: VAT weights + AMP mapping, one pulse per cell.
+        pair = build_pair(spec, scaler, rng)
+        amp = run_amp(pair, vat_w, x_mean, spec.sensing, rng=rng)
+        program_pair_open_loop(
+            pair, amp.mapping.weights_to_physical(vat_w)
+        )
+        results["Vortex (VAT+AMP)"][0] += hardware_test_rate(
+            pair, ds.x_test, ds.y_test, "ideal",
+            input_map=amp.mapping.inputs_to_physical,
+        )
+    for name in results:
+        results[name][0] /= trials
+    return results
+
+
+def test_ablation_programming_effort(benchmark, scale, image_size):
+    results = benchmark.pedantic(
+        lambda: _run(scale, image_size), rounds=1, iterations=1
+    )
+    print_series(
+        f"Ablation - programming effort vs robustness (sigma={SIGMA})",
+        f"{'scheme':>18s} {'test rate':>11s} {'pulses/cell':>13s}",
+        (
+            f"{name:>18s} {rate:11.3f} {pulses:13.2f}"
+            for name, (rate, pulses) in results.items()
+        ),
+    )
+    old_rate = results["OLD"][0]
+    wv_rate, wv_pulses = results["write-verify"]
+    vx_rate = results["Vortex (VAT+AMP)"][0]
+    # Write-verify buys robustness with pulses; Vortex approaches it at
+    # open-loop cost.
+    assert wv_rate > old_rate
+    assert wv_pulses > 1.5
+    assert vx_rate > old_rate
+    assert vx_rate > wv_rate - 0.08

@@ -1,0 +1,71 @@
+"""Ablation: multi-level-cell write resolution vs device variation.
+
+The paper's device reference ([14], Lee et al.) is a *multi-level*
+TaOx cell; real programming snaps to a finite number of conductance
+levels.  This bench sweeps the per-device level count against the
+variation sigma: at sizeable variation the lognormal landing error
+dominates the quantisation error, so a handful of levels suffices --
+an important deployment relief this library makes measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import print_series
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import OLDConfig, program_pair_open_loop, train_old
+from repro.experiments import get_dataset
+from repro.xbar.mapping import WeightScaler
+
+LEVELS = (4, 8, 16, 32, 0)  # 0 = continuous analog
+SIGMAS = (0.0, 0.6)
+
+
+def _run(scale, image_size):
+    ds = get_dataset(scale, image_size)
+    n = ds.n_features
+    weights = train_old(ds.x_train, ds.y_train, 10,
+                        OLDConfig(gdt=scale.gdt())).weights
+    trials = max(2, scale.mc_trials)
+    grid = np.zeros((len(SIGMAS), len(LEVELS)))
+    for si, sigma in enumerate(SIGMAS):
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=sigma),
+            crossbar=CrossbarConfig(rows=n, cols=10, r_wire=0.0),
+        )
+        for li, levels in enumerate(LEVELS):
+            scaler = WeightScaler(1.0, write_levels=levels)
+            for seed in range(trials):
+                pair = build_pair(
+                    spec, scaler, np.random.default_rng(6600 + seed)
+                )
+                program_pair_open_loop(pair, weights)
+                grid[si, li] += hardware_test_rate(
+                    pair, ds.x_test, ds.y_test, "ideal"
+                )
+    grid /= trials
+    return grid
+
+
+def test_ablation_write_levels(benchmark, scale, image_size):
+    grid = benchmark.pedantic(
+        lambda: _run(scale, image_size), rounds=1, iterations=1
+    )
+    labels = [str(lv) if lv else "analog" for lv in LEVELS]
+    print_series(
+        "Ablation - write levels (MLC) vs variation",
+        f"{'sigma':>6s} " + " ".join(f"{lb:>8s}" for lb in labels),
+        (
+            f"{s:6.1f} " + " ".join(f"{r:8.3f}" for r in row)
+            for s, row in zip(SIGMAS, grid)
+        ),
+    )
+    # Clean devices: 4 levels clearly limiting, analog best.  Noisy
+    # devices: variation dominates, so moderate level counts already
+    # sit within noise of analog.
+    clean, noisy = grid[0], grid[1]
+    assert clean[0] < clean[-1] - 0.02
+    assert noisy[2] >= noisy[-1] - 0.03  # 16 levels ~ analog at sigma 0.6
+    assert np.all(clean >= noisy - 0.02)

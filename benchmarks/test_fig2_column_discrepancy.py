@@ -1,0 +1,32 @@
+"""Fig. 2 bench: CLD vs OLD output discrepancy over device variation.
+
+Paper shape: OLD's relative output error grows steadily with sigma
+while CLD holds a small, flat error bounded by its sensing resolution.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import run_fig2
+
+
+def test_fig2_column_discrepancy(benchmark, scale):
+    result = benchmark.pedantic(
+        lambda: run_fig2(scale), rounds=1, iterations=1
+    )
+    print_series(
+        "Fig. 2 - column training discrepancy "
+        f"({result.n_trials}-run Monte Carlo)",
+        f"{'sigma':>6s} {'OLD err':>10s} {'CLD err':>10s}",
+        (
+            f"{s:6.1f} {o:10.4f} {c:10.4f}"
+            for s, o, c in result.rows()
+        ),
+    )
+    # Shape assertions: OLD grows, CLD stays flat and small.
+    assert result.old_discrepancy[-1] > 5 * max(
+        result.cld_discrepancy[-1], 1e-3
+    )
+    assert result.old_discrepancy[-1] > result.old_discrepancy[0]
+    assert result.cld_discrepancy.max() < 0.05

@@ -1,0 +1,40 @@
+"""Fig. 3 bench: IR-drop decomposition and its scaling with height.
+
+Paper shape: the vertical-degradation skew d_max/d_min grows with the
+crossbar height (beyond 2x for large all-LRS arrays) and, through the
+switching nonlinearity, the effective CLD update-magnitude ratio
+between the best- and worst-supplied cells reaches the 1/1000 scale.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import run_fig3
+
+
+def test_fig3_irdrop_decomposition(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3(heights=(32, 64, 128, 256, 512)),
+        rounds=1,
+        iterations=1,
+    )
+    print_series(
+        "Fig. 3 - IR-drop decomposition (all-LRS, r_wire=2.5)",
+        f"{'rows':>6s} {'d skew':>8s} {'update ratio':>14s} {'beta':>8s}",
+        (
+            f"{int(n):6d} {s:8.3f} {u:14.2e} {b:8.4f}"
+            for n, s, u, b in zip(
+                result.heights, result.d_skew, result.update_ratio,
+                result.beta,
+            )
+        ),
+    )
+    print(f"ladder-vs-nodal max rel error: "
+          f"{result.ladder_vs_nodal_error:.2e}")
+    # Shape: skew grows with n, exceeds 2x for large arrays; the
+    # update-magnitude ratio collapses to the paper's 1/1000 scale.
+    assert (result.d_skew[1:] > result.d_skew[:-1]).all()
+    assert result.d_skew[-1] > 2.0
+    assert result.update_ratio[-1] < 1e-3
+    assert result.ladder_vs_nodal_error < 0.02

@@ -1,0 +1,41 @@
+"""Fig. 8 bench: ADC resolution vs test rate.
+
+Paper shape: 4-5 bit converters significantly limit the test rate; the
+curves saturate around 6 bits, after which extra resolution buys only
+marginal robustness.  Curves at lower variation sit higher.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import run_fig8
+
+
+def test_fig8_adc_resolution(benchmark, scale, image_size):
+    result = benchmark.pedantic(
+        lambda: run_fig8(
+            scale, sigmas=(0.4, 0.6, 0.8), image_size=image_size
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    header = f"{'sigma':>6s} " + " ".join(
+        f"{int(b)}-bit".rjust(8) for b in result.bits
+    )
+    print_series(
+        "Fig. 8 - ADC resolution vs test rate (VAT+AMP, no redundancy)",
+        header,
+        (
+            f"{s:6.1f} " + " ".join(f"{r:8.3f}" for r in row)
+            for s, row in zip(result.sigmas, result.test_rate)
+        ),
+    )
+    print(f"saturation bits per sigma: {result.saturation_bits()}")
+    # Shape: coarse ADCs hurt, 6 bits is within a whisker of the best,
+    # and smaller sigma gives a higher curve.
+    for row in result.test_rate:
+        assert row[0] < row.max() - 0.01  # 4-bit clearly limited
+        six_bit = row[list(result.bits).index(6)]
+        assert six_bit >= row.max() - 0.04  # saturated by 6 bits
+    assert result.test_rate[0].mean() > result.test_rate[-1].mean()

@@ -1,0 +1,38 @@
+"""Table 1 bench: Vortex vs CLD at different crossbar sizes.
+
+Paper shape: with IR-drop active (r_wire = 2.5 Ohm), CLD's test rate
+collapses as the crossbar height grows (33.7 % at 784 rows) while
+Vortex *improves* with size; without IR-drop CLD recovers and both
+degrade toward small crossbars as the images lose features.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+from repro.experiments import run_table1
+
+
+def test_table1_crossbar_sizes(benchmark, scale, image_size, r_wire):
+    if image_size == 28:
+        sizes = (28, 14, 7)
+    else:
+        sizes = (14, 7)
+    result = benchmark.pedantic(
+        lambda: run_table1(scale, image_sizes=sizes, r_wire=r_wire),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=== Table 1 - Vortex vs CLD at different crossbar sizes ===")
+    print(result.table())
+
+    cld_ir = result.test_rate["cld_ir"]
+    vortex = result.test_rate["vortex_ir"]
+    cld_no_ir = result.test_rate["cld_no_ir"]
+    # Shape: on the largest crossbar Vortex-with-IR beats CLD-with-IR
+    # decisively, and CLD recovers once IR-drop is removed.
+    assert vortex[0] > cld_ir[0]
+    assert cld_no_ir[0] > cld_ir[0]
+    # CLD w/o IR-drop degrades toward smaller images (feature loss).
+    assert cld_no_ir[0] > cld_no_ir[-1]

@@ -1,0 +1,94 @@
+"""Deploy a classifier onto a crossbar with stuck-at defects.
+
+Section 4.2.2: fabrication defects leave cells stuck at HRS or LRS;
+AMP's pre-test sees them as extreme variations and the greedy mapping
+routes the important weight rows away from them, with redundant rows
+supplying clean spares.  This example quantifies the recovery.
+
+Run:  python examples/defect_tolerant_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CrossbarConfig,
+    HardwareSpec,
+    OLDConfig,
+    RowMapping,
+    SensingConfig,
+    VariationConfig,
+    WeightScaler,
+    build_pair,
+    hardware_test_rate,
+    make_dataset,
+    program_pair_open_loop,
+    run_amp,
+    train_old,
+)
+from repro.devices.defects import count_defects
+from repro.nn.gdt import GDTConfig
+
+DEFECT_RATE = 0.03
+REDUNDANCY = (0, 16, 32)
+TRIALS = 3
+
+
+def main() -> None:
+    dataset = make_dataset(n_train=1200, n_test=600, seed=7)
+    dataset = dataset.undersampled(14)
+    n = dataset.n_features
+    scaler = WeightScaler(1.0)
+    weights = train_old(dataset.x_train, dataset.y_train, 10,
+                        OLDConfig(gdt=GDTConfig(epochs=120))).weights
+    x_mean = dataset.x_train.mean(axis=0)
+
+    print(f"crossbar: {n} logical rows, defect rate {DEFECT_RATE:.0%}, "
+          f"variation sigma 0.4\n")
+    print(f"{'extra rows':>10s} {'identity map':>13s} {'AMP map':>9s}")
+    for extra in REDUNDANCY:
+        identity_rates, amp_rates = [], []
+        for trial in range(TRIALS):
+            rng = np.random.default_rng(50 + trial)
+            spec = HardwareSpec(
+                variation=VariationConfig(
+                    sigma=0.4, defect_rate=DEFECT_RATE
+                ),
+                crossbar=CrossbarConfig(rows=n, cols=10, r_wire=0.0),
+            )
+            pair = build_pair(spec, scaler, rng, rows=n + extra)
+            if trial == 0 and extra == 0:
+                counts = count_defects(pair.positive.array.defects)
+                print(f"(positive array defects: "
+                      f"{counts['stuck_at_lrs']} stuck-at-LRS, "
+                      f"{counts['stuck_at_hrs']} stuck-at-HRS)\n")
+
+            # Baseline: identity placement, defects land wherever.
+            identity = RowMapping(
+                assignment=np.arange(n), n_physical=n + extra
+            )
+            program_pair_open_loop(
+                pair, identity.weights_to_physical(weights)
+            )
+            identity_rates.append(hardware_test_rate(
+                pair, dataset.x_test, dataset.y_test, "ideal",
+                input_map=identity.inputs_to_physical,
+            ))
+
+            # AMP: pre-test, then route around the bad devices.
+            amp = run_amp(pair, weights, x_mean,
+                          SensingConfig(adc_bits=6), rng=rng)
+            program_pair_open_loop(
+                pair, amp.mapping.weights_to_physical(weights)
+            )
+            amp_rates.append(hardware_test_rate(
+                pair, dataset.x_test, dataset.y_test, "ideal",
+                input_map=amp.mapping.inputs_to_physical,
+            ))
+        print(f"{extra:10d} {np.mean(identity_rates):13.3f} "
+              f"{np.mean(amp_rates):9.3f}")
+
+
+if __name__ == "__main__":
+    main()

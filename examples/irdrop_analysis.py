@@ -1,0 +1,79 @@
+"""Circuit-level IR-drop analysis of a memristor crossbar.
+
+Reproduces the Section 3.2 analysis interactively: solves the full
+nodal network of a crossbar, compares it with the fast ladder
+decomposition (the paper's beta / D split, Fig. 3), and shows how the
+vertical voltage skew translates -- through the exponential switching
+nonlinearity -- into the frozen-row effect that breaks close-loop
+training on tall crossbars.
+
+Run:  python examples/irdrop_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import DeviceConfig
+from repro.devices.switching import SwitchingModel
+from repro.xbar import CrossbarNetwork, program_factors
+
+HEIGHTS = (32, 64, 128, 256, 512)
+R_WIRE = 2.5
+
+
+def ascii_profile(values: np.ndarray, width: int = 40) -> str:
+    """One-line bar profile of a factor column (1.0 = full width)."""
+    bars = []
+    for v in values:
+        bars.append("#" * int(round(v * width)))
+    return "\n".join(
+        f"  row {i:4d} |{bar:<{width}s}| {v:.3f}"
+        for i, (bar, v) in enumerate(zip(bars, values))
+    )
+
+
+def main() -> None:
+    device = DeviceConfig()
+    model = SwitchingModel(device)
+
+    print("== delivered programming voltage vs crossbar height ==")
+    print(f"(all-LRS worst case, r_wire = {R_WIRE} Ohm)\n")
+    print(f"{'rows':>6s} {'d skew':>8s} {'worst update ratio':>20s}")
+    for n in HEIGHTS:
+        g = np.full((n, 10), device.g_on)
+        decomposition = program_factors(g, R_WIRE, device.v_set)
+        factors = decomposition.column_factors[:, 0]
+        eff = model.nonlinearity_factor(device.v_set * factors, "set")
+        print(f"{n:6d} {decomposition.d_skew.max():8.3f} "
+              f"{eff.min() / eff.max():20.2e}")
+
+    n = 64
+    g = np.full((n, 10), device.g_on)
+    decomposition = program_factors(g, R_WIRE, device.v_set)
+    print(f"\n== vertical degradation profile (n={n}, column 0, "
+          "every 8th row) ==")
+    print(ascii_profile(decomposition.column_factors[::8, 0]))
+
+    print("\n== ladder decomposition vs full nodal solve ==")
+    network = CrossbarNetwork(g, R_WIRE)
+    print(f"{'cell':>12s} {'nodal (V)':>10s} {'ladder (V)':>11s}")
+    for row, col in ((0, 0), (n // 2, 5), (n - 1, 9)):
+        exact = network.program_voltages(row, col, device.v_set)
+        v_nodal = exact.device_voltage[row, col]
+        v_ladder = device.v_set * decomposition.combined[row, col]
+        print(f"({row:3d},{col:2d})     {v_nodal:10.4f} {v_ladder:11.4f}")
+
+    print("\n== read-path attenuation ==")
+    x = np.full(n, 0.5)
+    ideal = network.ideal_read(x)
+    actual = network.read(x)
+    for j in (0, 5, 9):
+        loss = 100 * (1 - actual[j] / ideal[j])
+        print(f"column {j}: ideal {ideal[j] * 1e3:7.3f} mA, "
+              f"actual {actual[j] * 1e3:7.3f} mA "
+              f"({loss:.1f}% lost to wires)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires PEP 660 editable-wheel support; offline
+environments lacking `wheel` can instead run `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

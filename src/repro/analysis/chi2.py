@@ -1,0 +1,63 @@
+"""Chi-square bound on the variation-vector norm (Eq. 7-8 of the paper).
+
+VAT bounds the "penalty of variations" via Cauchy-Schwarz:
+``sum_q x_q w_q theta_q <= ||theta||_2 * ||x (.) w||_2``.  With
+``theta_q ~ N(0, sigma^2)`` i.i.d., ``||theta||_2^2 / sigma^2`` follows
+a chi-square distribution with ``n`` degrees of freedom, so at a chosen
+confidence level ``c`` the norm is bounded by
+
+    rho = sigma * sqrt(chi2_ppf(c, n)).
+
+This module computes ``rho`` and its companions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["rho_bound", "norm_exceedance_probability", "expected_theta_norm"]
+
+
+def rho_bound(sigma: float, n: int, confidence: float = 0.95) -> float:
+    """Confidence bound ``rho`` on ``||theta||_2``.
+
+    Args:
+        sigma: Standard deviation of each ``theta_q``.
+        n: Vector dimension (crossbar rows), the chi-square degrees of
+            freedom.
+        confidence: Probability with which ``||theta||_2 <= rho``.
+
+    Returns:
+        The bound ``rho`` (0 when ``sigma`` is 0).
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if sigma == 0:
+        return 0.0
+    return float(sigma * np.sqrt(stats.chi2.ppf(confidence, df=n)))
+
+
+def norm_exceedance_probability(rho: float, sigma: float, n: int) -> float:
+    """Probability that ``||theta||_2`` exceeds a given ``rho``."""
+    if sigma <= 0:
+        return 0.0 if rho >= 0 else 1.0
+    return float(stats.chi2.sf((rho / sigma) ** 2, df=n))
+
+
+def expected_theta_norm(sigma: float, n: int) -> float:
+    """Mean of ``||theta||_2`` (chi distribution mean, scaled)."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    # E[chi_n] = sqrt(2) * Gamma((n+1)/2) / Gamma(n/2); evaluate in
+    # log space to stay finite for large n.
+    from scipy.special import gammaln
+
+    log_mean = 0.5 * np.log(2.0) + gammaln((n + 1) / 2.0) - gammaln(n / 2.0)
+    return float(sigma * np.exp(log_mean))

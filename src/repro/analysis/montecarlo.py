@@ -1,0 +1,75 @@
+"""Monte-Carlo harness for variation studies.
+
+Every robustness number in the paper is a Monte-Carlo average over
+fabrication draws (e.g. the 1000-run column study of Fig. 2).  The
+harness centralises seeding -- each trial gets an independent child
+generator spawned from one seed sequence -- and summary statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["MonteCarloSummary", "run_monte_carlo", "child_rngs"]
+
+
+@dataclasses.dataclass
+class MonteCarloSummary:
+    """Summary statistics of a Monte-Carlo run.
+
+    Attributes:
+        values: Raw per-trial values, shape ``(trials,) + value_shape``.
+        mean: Mean over trials.
+        std: Standard deviation over trials (ddof=1 when trials > 1).
+        percentile_5: 5th percentile over trials.
+        percentile_95: 95th percentile over trials.
+    """
+
+    values: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    percentile_5: np.ndarray
+    percentile_95: np.ndarray
+
+    @property
+    def n_trials(self) -> int:
+        return self.values.shape[0]
+
+
+def child_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Independent child generators from one master seed."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def run_monte_carlo(
+    trial: Callable[[np.random.Generator], float | Sequence[float] | np.ndarray],
+    trials: int,
+    seed: int = 0,
+) -> MonteCarloSummary:
+    """Run a trial function over independent random draws.
+
+    Args:
+        trial: Callable receiving a dedicated generator and returning a
+            scalar or array statistic (consistent shape across trials).
+        trials: Number of independent repetitions.
+        seed: Master seed; the same seed reproduces every trial.
+
+    Returns:
+        A :class:`MonteCarloSummary` of the collected statistics.
+    """
+    rngs = child_rngs(seed, trials)
+    values = np.asarray([np.asarray(trial(rng), dtype=float) for rng in rngs])
+    ddof = 1 if trials > 1 else 0
+    return MonteCarloSummary(
+        values=values,
+        mean=values.mean(axis=0),
+        std=values.std(axis=0, ddof=ddof),
+        percentile_5=np.percentile(values, 5, axis=0),
+        percentile_95=np.percentile(values, 95, axis=0),
+    )

@@ -1,0 +1,177 @@
+"""Design-overhead models: area and energy of a crossbar deployment.
+
+The paper's Fig. 9 trades *overhead* (redundant rows) against test
+rate.  This module quantifies that overhead with simple first-order
+models so the trade-off can be reported in physical units rather than
+row counts:
+
+* **Area** -- cross-point cells at 4F^2 each (selectorless crossbar),
+  plus per-column sense/ADC area and per-row driver area.
+* **Read energy** -- resistive dissipation of one vector-matrix
+  multiply plus per-conversion ADC energy.
+* **Programming energy** -- dissipation of a pulse plan (V^2 * g * t
+  summed over cells), the cost of (re)deploying weights.
+
+Defaults are typical published numbers for nanoscale RRAM arrays; all
+are parameters, and only *ratios* between design points are meaningful
+for the reproduction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import CrossbarConfig, DeviceConfig
+
+__all__ = ["CostModel", "AreaEstimate", "EnergyEstimate"]
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaEstimate:
+    """Area breakdown of a crossbar macro, in um^2.
+
+    Attributes:
+        cells: Cross-point array area.
+        drivers: Word-line driver area.
+        sensing: Column sense + ADC area.
+        total: Sum of the above.
+    """
+
+    cells: float
+    drivers: float
+    sensing: float
+
+    @property
+    def total(self) -> float:
+        return self.cells + self.drivers + self.sensing
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown of one operation, in Joule.
+
+    Attributes:
+        array: Resistive dissipation inside the crossbar.
+        conversion: ADC conversion energy.
+        total: Sum of the above.
+    """
+
+    array: float
+    conversion: float
+
+    @property
+    def total(self) -> float:
+        return self.array + self.conversion
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """First-order area/energy model of a differential crossbar macro.
+
+    Attributes:
+        feature_nm: Technology feature size F in nanometres.
+        cell_area_f2: Cross-point cell area in F^2 (4 for a
+            selectorless crossbar).
+        driver_area_um2: Word-line driver area per row.
+        adc_area_um2_per_bit: ADC area per bit of resolution per
+            column.
+        adc_energy_pj_per_conv: ADC energy per conversion (pJ),
+            scaled linearly with resolution bits.
+        read_pulse_s: Duration of one read operation.
+    """
+
+    feature_nm: float = 45.0
+    cell_area_f2: float = 4.0
+    driver_area_um2: float = 1.5
+    adc_area_um2_per_bit: float = 500.0
+    adc_energy_pj_per_conv: float = 2.0
+    read_pulse_s: float = 10e-9
+
+    # ------------------------------------------------------------------
+    def area(
+        self, crossbar: CrossbarConfig, adc_bits: int, rows: int | None = None
+    ) -> AreaEstimate:
+        """Macro area of a differential pair.
+
+        Args:
+            crossbar: Geometry (columns; rows overridable).
+            adc_bits: Sense resolution (one shared converter per
+                column pair, as in the paper's setup).
+            rows: Physical row count override (logical + redundant).
+        """
+        n = rows if rows is not None else crossbar.rows
+        m = crossbar.cols
+        if n < 1 or m < 1 or adc_bits < 1:
+            raise ValueError("rows, cols and adc_bits must be positive")
+        f_um = self.feature_nm * 1e-3
+        cell = self.cell_area_f2 * f_um * f_um
+        cells = 2 * n * m * cell  # differential pair: two arrays
+        drivers = 2 * n * self.driver_area_um2
+        sensing = m * adc_bits * self.adc_area_um2_per_bit
+        return AreaEstimate(cells=cells, drivers=drivers, sensing=sensing)
+
+    def area_overhead(
+        self, crossbar: CrossbarConfig, adc_bits: int, extra_rows: int
+    ) -> float:
+        """Fractional macro-area overhead of ``extra_rows`` redundancy."""
+        if extra_rows < 0:
+            raise ValueError("extra_rows must be >= 0")
+        base = self.area(crossbar, adc_bits).total
+        redundant = self.area(
+            crossbar, adc_bits, rows=crossbar.rows + extra_rows
+        ).total
+        return redundant / base - 1.0
+
+    # ------------------------------------------------------------------
+    def read_energy(
+        self,
+        conductance_pair: tuple[np.ndarray, np.ndarray],
+        x: np.ndarray,
+        crossbar: CrossbarConfig,
+        adc_bits: int,
+    ) -> EnergyEstimate:
+        """Energy of one inference read (averaged over a batch).
+
+        Array dissipation is ``sum_ij (x_i * v_read)^2 * g_ij`` over
+        both arrays for the read duration; each column performs one
+        conversion.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        v = crossbar.v_read
+        power = 0.0
+        for g in conductance_pair:
+            g = np.asarray(g, dtype=float)
+            if g.shape[0] != x.shape[1]:
+                raise ValueError(
+                    f"input width {x.shape[1]} != rows {g.shape[0]}"
+                )
+            # mean over batch of sum_ij (x_i v)^2 g_ij
+            power += float(np.mean((x * v) ** 2 @ g.sum(axis=1)))
+        array_energy = power * self.read_pulse_s
+        conversion = (
+            crossbar.cols * adc_bits * self.adc_energy_pj_per_conv * 1e-12
+        )
+        return EnergyEstimate(array=array_energy, conversion=conversion)
+
+    def programming_energy(
+        self,
+        widths: np.ndarray,
+        voltages: np.ndarray,
+        conductance: np.ndarray,
+        device: DeviceConfig | None = None,
+    ) -> float:
+        """Dissipation of a pulse plan, in Joule.
+
+        Uses the final conductances as the (upper-bound) load during
+        each pulse: ``E = sum_ij V_ij^2 * g_ij * t_ij``.
+        """
+        widths = np.asarray(widths, dtype=float)
+        voltages = np.asarray(voltages, dtype=float)
+        conductance = np.asarray(conductance, dtype=float)
+        if not (widths.shape == voltages.shape == conductance.shape):
+            raise ValueError("widths, voltages, conductance shapes differ")
+        if np.any(widths < 0):
+            raise ValueError("pulse widths must be non-negative")
+        return float(np.sum(voltages**2 * conductance * widths))

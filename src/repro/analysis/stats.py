@@ -1,0 +1,42 @@
+"""Small statistical helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relative_discrepancy",
+    "mean_absolute_deviation",
+    "summarize_array",
+]
+
+
+def relative_discrepancy(actual: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Element-wise ``|actual - target| / |target|``.
+
+    The Fig. 2 metric: the discrepancy between the trained crossbar
+    output and the target output, normalised by the target.
+    """
+    actual = np.asarray(actual, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if np.any(target == 0):
+        raise ValueError("target must be non-zero for relative discrepancy")
+    return np.abs(actual - target) / np.abs(target)
+
+
+def mean_absolute_deviation(values: np.ndarray) -> float:
+    """Mean absolute deviation from the mean."""
+    values = np.asarray(values, dtype=float)
+    return float(np.mean(np.abs(values - values.mean())))
+
+
+def summarize_array(values: np.ndarray) -> dict[str, float]:
+    """Mean / std / min / max / median of an array, as floats."""
+    values = np.asarray(values, dtype=float)
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "median": float(np.median(values)),
+    }

@@ -1,0 +1,68 @@
+"""Analog-to-digital converter model.
+
+The paper's NCS senses crossbar column currents through an ADC
+(Section 2.1) and Fig. 8 sweeps the ADC resolution from 4 to 8 bits,
+showing test-rate saturation at 6 bits.  The model here is a uniform
+mid-rise quantiser over a configurable full-scale range, which captures
+the two effects the paper attributes to finite resolution:
+
+* quantisation of sensed currents during computation and close-loop
+  training (limits the convergence criterion of CLD, Section 3.3), and
+* quantisation of pre-test measurements, which bounds how accurately
+  AMP can estimate per-device variation (Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ADC"]
+
+
+class ADC:
+    """Uniform quantiser with clipping.
+
+    Args:
+        bits: Resolution in bits (>= 1).
+        full_scale: Largest representable input; inputs are clipped to
+            ``[-full_scale, full_scale]`` when ``bipolar`` else
+            ``[0, full_scale]``.
+        bipolar: Whether the input range is symmetric around zero.
+    """
+
+    def __init__(self, bits: int, full_scale: float, bipolar: bool = False):
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        if full_scale <= 0:
+            raise ValueError(f"full_scale must be positive, got {full_scale}")
+        self.bits = int(bits)
+        self.full_scale = float(full_scale)
+        self.bipolar = bool(bipolar)
+        self.levels = 2**self.bits
+
+    @property
+    def lsb(self) -> float:
+        """Least-significant-bit step size in input units."""
+        span = 2 * self.full_scale if self.bipolar else self.full_scale
+        return span / self.levels
+
+    def quantize(self, x: np.ndarray | float) -> np.ndarray:
+        """Quantise input(s) to the nearest representable level."""
+        x = np.asarray(x, dtype=float)
+        lo = -self.full_scale if self.bipolar else 0.0
+        clipped = np.clip(x, lo, self.full_scale)
+        codes = np.round((clipped - lo) / self.lsb)
+        codes = np.clip(codes, 0, self.levels - 1)
+        return lo + codes * self.lsb
+
+    def codes(self, x: np.ndarray | float) -> np.ndarray:
+        """Integer output codes for input(s)."""
+        x = np.asarray(x, dtype=float)
+        lo = -self.full_scale if self.bipolar else 0.0
+        clipped = np.clip(x, lo, self.full_scale)
+        codes = np.round((clipped - lo) / self.lsb)
+        return np.clip(codes, 0, self.levels - 1).astype(int)
+
+    def __repr__(self) -> str:
+        kind = "bipolar" if self.bipolar else "unipolar"
+        return f"ADC(bits={self.bits}, full_scale={self.full_scale:g}, {kind})"

@@ -1,0 +1,61 @@
+"""Input driver (DAC) model.
+
+The paper adopts digital input voltages on the word lines
+(Section 2.1): each pixel of the benchmark image is converted to a
+voltage level on a horizontal wire.  ``InputDriver`` maps normalised
+feature values in [0, 1] (or [-1, 1] for differential drive) onto
+voltage levels with a configurable number of digital levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["InputDriver"]
+
+
+class InputDriver:
+    """Converts normalised features into word-line voltages.
+
+    Args:
+        v_read: Full-scale read voltage in Volt.
+        levels: Number of digital voltage levels (``None`` or 0 means
+            ideal analog drive).
+        signed: Accept features in [-1, 1] and produce signed voltages
+            (the sign is realised by input-phase encoding in hardware;
+            the model keeps signed values for simplicity).
+    """
+
+    def __init__(self, v_read: float = 1.0, levels: int | None = None,
+                 signed: bool = False):
+        if v_read <= 0:
+            raise ValueError(f"v_read must be positive, got {v_read}")
+        if levels is not None and levels < 2 and levels != 0:
+            raise ValueError(f"levels must be >= 2 (or 0/None), got {levels}")
+        self.v_read = float(v_read)
+        self.levels = int(levels) if levels else 0
+        self.signed = bool(signed)
+
+    def drive(self, features: np.ndarray) -> np.ndarray:
+        """Voltages for a feature vector or batch.
+
+        Args:
+            features: Array of normalised features; values are clipped
+                to the accepted range.
+
+        Returns:
+            Voltage array of the same shape.
+        """
+        x = np.asarray(features, dtype=float)
+        lo = -1.0 if self.signed else 0.0
+        x = np.clip(x, lo, 1.0)
+        if self.levels:
+            span = 1.0 - lo
+            step = span / (self.levels - 1)
+            x = lo + np.round((x - lo) / step) * step
+        return x * self.v_read
+
+    def __repr__(self) -> str:
+        mode = "signed" if self.signed else "unsigned"
+        lv = self.levels if self.levels else "analog"
+        return f"InputDriver(v_read={self.v_read:g}, levels={lv}, {mode})"

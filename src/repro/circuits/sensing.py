@@ -1,0 +1,73 @@
+"""Column-current sensing chain.
+
+Combines a (optional) thermal/readout noise source with an ADC into the
+sense path used for both computation and pre-testing.  The paper's CLD
+scheme requires "accurately sensing the memristor (output current from
+the crossbar) in the real-time" (Section 1); this module is where that
+accuracy is bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.adc import ADC
+
+__all__ = ["CurrentSense", "repeated_sense_average"]
+
+
+class CurrentSense:
+    """Current sensing front-end: additive noise followed by an ADC.
+
+    Args:
+        adc: Quantiser applied to the (noisy) current; ``None`` models
+            an ideal infinite-resolution sense amplifier.
+        noise_std: Standard deviation of additive Gaussian readout
+            noise, in the same units as the sensed current (A).
+        rng: Random generator for the noise draws.
+    """
+
+    def __init__(
+        self,
+        adc: ADC | None = None,
+        noise_std: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {noise_std}")
+        self.adc = adc
+        self.noise_std = float(noise_std)
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def sense(self, current: np.ndarray | float) -> np.ndarray:
+        """One sensing operation on a current (or array of currents)."""
+        i = np.asarray(current, dtype=float)
+        if self.noise_std > 0:
+            i = i + self.rng.normal(0.0, self.noise_std, size=i.shape)
+        if self.adc is not None:
+            i = self.adc.quantize(i)
+        return i
+
+    @property
+    def resolution(self) -> float:
+        """Smallest distinguishable current step (A); 0 if ideal."""
+        return self.adc.lsb if self.adc is not None else 0.0
+
+
+def repeated_sense_average(
+    sense: CurrentSense, currents: np.ndarray, repeats: int
+) -> np.ndarray:
+    """Average of ``repeats`` independent sense operations.
+
+    Pre-testing in AMP senses each device multiple times "to eliminate
+    the impacts of switching variations" (Section 4.2.1).  Averaging
+    suppresses the random components (readout noise) but cannot recover
+    information below the quantisation floor, which is why Fig. 8 shows
+    a hard saturation with ADC resolution.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    acc = np.zeros_like(np.asarray(currents, dtype=float))
+    for _ in range(repeats):
+        acc = acc + sense.sense(currents)
+    return acc / repeats

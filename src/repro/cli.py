@@ -1,0 +1,146 @@
+"""Command-line interface for the Vortex reproduction.
+
+Usage::
+
+    python -m repro report                 # regenerate the evaluation
+    python -m repro report --experiments fig2 fig3
+    python -m repro report --paper-scale --image-size 28
+    python -m repro quickstart             # end-to-end Vortex demo
+
+The report subcommand regenerates the paper's tables/figures at the
+chosen scale and prints (or writes) the combined text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.report import EXPERIMENT_RUNNERS, generate_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Vortex (DAC'15) reproduction: regenerate the paper's "
+            "evaluation or run the end-to-end demo."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="regenerate the paper's tables and figures"
+    )
+    report.add_argument(
+        "--experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENT_RUNNERS),
+        default=None,
+        help="subset of experiments (default: all)",
+    )
+    report.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's sample counts (much slower)",
+    )
+    report.add_argument(
+        "--image-size",
+        type=int,
+        choices=(7, 14, 28),
+        default=14,
+        help="benchmark resolution (28 = the paper's 784-row crossbar)",
+    )
+    report.add_argument(
+        "--output",
+        type=str,
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    report.add_argument(
+        "--seed", type=int, default=None, help="override the master seed"
+    )
+
+    quick = sub.add_parser(
+        "quickstart", help="run the end-to-end Vortex pipeline demo"
+    )
+    quick.add_argument("--sigma", type=float, default=0.6)
+    quick.add_argument("--image-size", type=int, choices=(7, 14, 28),
+                       default=14)
+    quick.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    scale = (
+        ExperimentScale.paper()
+        if args.paper_scale
+        else ExperimentScale.quick()
+    )
+    if args.seed is not None:
+        import dataclasses
+
+        scale = dataclasses.replace(scale, seed=args.seed)
+    experiments = tuple(args.experiments) if args.experiments else None
+    text = generate_report(scale, args.image_size, experiments)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _run_quickstart(args: argparse.Namespace) -> int:
+    from repro import (
+        CrossbarConfig,
+        HardwareSpec,
+        VariationConfig,
+        WeightScaler,
+        build_pair,
+        make_dataset,
+        run_vortex,
+    )
+
+    dataset = make_dataset(n_train=1500, n_test=800, seed=7)
+    if args.image_size != 28:
+        dataset = dataset.undersampled(args.image_size)
+    spec = HardwareSpec(
+        variation=VariationConfig(sigma=args.sigma),
+        crossbar=CrossbarConfig(rows=dataset.n_features, cols=10,
+                                r_wire=0.0),
+    )
+    rng = np.random.default_rng(args.seed)
+    pair = build_pair(spec, WeightScaler(1.0), rng,
+                      rows=dataset.n_features + 16)
+    result = run_vortex(pair, dataset.x_train, dataset.y_train,
+                        n_classes=10, rng=rng)
+    print(f"pre-test sigma estimate : {result.sigma_pretest:.3f}")
+    print(f"effective sigma post-AMP: {result.sigma_effective:.3f}")
+    print(f"self-tuned gamma        : {result.gamma:.2f}")
+    print(f"training rate (software): {result.training_rate:.3f}")
+    rate = result.test_rate(pair, dataset.x_test, dataset.y_test)
+    print(f"test rate (hardware)    : {rate:.3f}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return _run_report(args)
+    if args.command == "quickstart":
+        return _run_quickstart(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Shared types and hardware-evaluation harness for the training schemes.
+
+All three schemes (OLD, CLD, Vortex) are ultimately judged the same
+way: program a *fabricated* (variation-bearing) differential crossbar
+pair, run the test samples through the hardware read path, and report
+the classification rate (the paper's "test rate").  This module owns
+that common machinery so every experiment compares schemes on an
+identical footing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.circuits.adc import ADC
+from repro.circuits.sensing import CurrentSense
+from repro.config import (
+    CrossbarConfig,
+    DeviceConfig,
+    SensingConfig,
+    VariationConfig,
+)
+from repro.nn.metrics import rate_from_scores
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.pair import DifferentialCrossbar
+
+__all__ = [
+    "HardwareSpec",
+    "TrainingOutcome",
+    "build_pair",
+    "hardware_test_rate",
+    "software_rates",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareSpec:
+    """Everything that defines the hardware platform of an experiment.
+
+    Attributes:
+        device: Nominal memristor parameters.
+        variation: Variability statistics of the fabrication process.
+        crossbar: Geometry and wire resistance.
+        sensing: ADC resolution and pre-test repeat count.
+        ir_mode: Read-fidelity model used for inference
+            (see :data:`repro.xbar.crossbar.IR_MODES`).
+        quantize_read: Apply the ADC to inference reads as well (the
+            paper's computation path always senses through the ADC).
+        score_headroom: Differential-ADC range sizing: the converter
+            covers differential currents up to
+            ``v_read * g_range * rows * score_headroom`` -- i.e. the
+            output swing of a column whose average active weight
+            magnitude is ``score_headroom`` of full scale.  Matching
+            the converter to the realistic signal swing (instead of the
+            all-devices-on worst case) is what makes a 6-bit ADC
+            workable, as the paper's setup assumes.
+    """
+
+    device: DeviceConfig = dataclasses.field(default_factory=DeviceConfig)
+    variation: VariationConfig = dataclasses.field(
+        default_factory=VariationConfig
+    )
+    crossbar: CrossbarConfig = dataclasses.field(
+        default_factory=CrossbarConfig
+    )
+    sensing: SensingConfig = dataclasses.field(default_factory=SensingConfig)
+    ir_mode: str = "ideal"
+    quantize_read: bool = True
+    score_headroom: float = 0.02
+
+    def with_rows(self, rows: int) -> "HardwareSpec":
+        """Copy of the spec with a different crossbar row count."""
+        return dataclasses.replace(
+            self, crossbar=dataclasses.replace(self.crossbar, rows=rows)
+        )
+
+    def diff_adc(self, rows: int | None = None) -> ADC | None:
+        """Bipolar ADC for the differential read path, or ``None``."""
+        if not self.quantize_read:
+            return None
+        n = rows if rows is not None else self.crossbar.rows
+        full_scale = (
+            self.crossbar.v_read
+            * self.device.g_range
+            * n
+            * self.score_headroom
+        )
+        return ADC(self.sensing.adc_bits, full_scale, bipolar=True)
+
+    def pretest_adc(self) -> ADC:
+        """ADC instance for single-cell pre-test reads.
+
+        Pre-testing senses one device at a time, so the converter range
+        only has to cover a single on-state device current.
+        """
+        full_scale = (
+            self.crossbar.v_read
+            * self.device.g_on
+            * self.sensing.full_scale_margin
+        )
+        return ADC(self.sensing.adc_bits, full_scale)
+
+
+@dataclasses.dataclass
+class TrainingOutcome:
+    """Common result record of any training scheme.
+
+    Attributes:
+        weights: The weight matrix in software (target) form, shape
+            ``(rows, cols)`` of the *physical* crossbar.
+        training_rate: Classification rate on the training samples.
+        diagnostics: Scheme-specific extras (loss curves, chosen gamma,
+            mapping permutation, ...).
+    """
+
+    weights: np.ndarray
+    training_rate: float
+    diagnostics: dict = dataclasses.field(default_factory=dict)
+
+
+def build_pair(
+    spec: HardwareSpec,
+    scaler: WeightScaler,
+    rng: np.random.Generator,
+    rows: int | None = None,
+) -> DifferentialCrossbar:
+    """Fabricate a differential pair according to a hardware spec.
+
+    Args:
+        spec: Hardware platform description.
+        scaler: Weight <-> conductance map for the pair.
+        rng: Fabrication randomness (persistent variation draws).
+        rows: Optional row-count override (e.g. redundancy rows).
+    """
+    config = spec.crossbar
+    if rows is not None:
+        config = dataclasses.replace(config, rows=rows)
+    diff_sense = None
+    # The converter range is sized to the workload's signal swing --
+    # the spec's logical row count -- not to the physical row count:
+    # redundancy rows idle at the g_off baseline and add no swing.
+    adc = spec.diff_adc(spec.crossbar.rows)
+    if adc is not None:
+        diff_sense = CurrentSense(adc=adc)
+    return DifferentialCrossbar(
+        scaler=scaler,
+        config=config,
+        device=spec.device,
+        variation=spec.variation,
+        rng=rng,
+        diff_sense=diff_sense,
+    )
+
+
+def hardware_test_rate(
+    pair: DifferentialCrossbar,
+    x: np.ndarray,
+    labels: np.ndarray,
+    ir_mode: str,
+    input_map: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> float:
+    """Test rate of a programmed pair through the hardware read path.
+
+    Args:
+        pair: Programmed differential crossbar.
+        x: Test inputs ``(s, n_logical)`` in [0, 1].
+        labels: Integer test labels.
+        ir_mode: Read fidelity.
+        input_map: Optional routing of logical inputs onto physical
+            rows (used by AMP); identity when omitted.
+    """
+    x_phys = np.asarray(x, dtype=float)
+    if input_map is not None:
+        x_phys = input_map(x_phys)
+    if x_phys.ndim == 2:
+        # Post-programming calibration, as a real deployment performs:
+        # the fast read model learns the workload's input statistics
+        # and the sense chain auto-ranges to the observed signal swing.
+        if ir_mode == "reference":
+            pair.set_reference_input(x_phys.mean(axis=0))
+        pair.calibrate_sense(x_phys[: min(len(x_phys), 256)])
+    scores = pair.matvec(x_phys, ir_mode)
+    return rate_from_scores(scores, labels)
+
+
+def software_rates(
+    weights: np.ndarray,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> tuple[float, float]:
+    """(training rate, test rate) of ideal software weights."""
+    return (
+        rate_from_scores(np.asarray(x_train) @ weights, y_train),
+        rate_from_scores(np.asarray(x_test) @ weights, y_test),
+    )

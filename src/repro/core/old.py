@@ -1,0 +1,251 @@
+"""OLD: open-loop off-device training (Section 2.2.3).
+
+The baseline the paper improves on: train the network in software with
+conventional GDT, pre-calculate the programming signals from the
+nominal switching model, program every device once, and never look
+back.  Cheap -- no feedback control, no high-resolution ADC in the
+loop -- but blind to device variations, which corrupt the programmed
+weights multiplicatively (Section 3.1).
+
+Because the wire resistance is known at design time, OLD *can*
+compensate the deterministic part of the IR-drop in the pre-calculation
+stage (the paper cites the authors' ICCAD'14 techniques); this module
+implements that compensation for the read path by pre-dividing the
+conductance targets by the predicted attenuation factors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import TrainingOutcome
+from repro.core.vat import VATConfig, train_vat
+from repro.nn.gdt import GDTConfig
+from repro.xbar.ir_drop import program_factors, read_output_currents
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.pair import DifferentialCrossbar
+from repro.xbar.programming import execute_plan, plan_programming
+
+__all__ = [
+    "OLDConfig",
+    "train_old",
+    "program_pair_open_loop",
+    "program_pair_physical",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class OLDConfig:
+    """OLD hyper-parameters.
+
+    Attributes:
+        gdt: Software-trainer settings.
+        compensate_ir_drop: Pre-divide conductance targets by the
+            predicted read-path attenuation (the [10] technique).
+        compensation_iterations: Fixed-point rounds of the target
+            correction.
+        normalize_weights: Rescale the weight matrix to span the full
+            representable range ``[-w_max, w_max]`` before programming.
+            A uniform positive rescaling leaves the argmax decision
+            unchanged while using the whole conductance range, which is
+            how a real mapping stage sizes the weights to the devices.
+        digital_calibration: After programming, auto-range the sense
+            chain and fit per-column digital gain corrections against
+            the intended weights (the read-path half of the [10]
+            IR-drop compensation).  Only engaged when the crossbar has
+            wire resistance.
+    """
+
+    gdt: GDTConfig = dataclasses.field(default_factory=GDTConfig)
+    compensate_ir_drop: bool = True
+    compensation_iterations: int = 2
+    normalize_weights: bool = True
+    digital_calibration: bool = True
+
+
+def train_old(
+    x: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    config: OLDConfig | None = None,
+) -> TrainingOutcome:
+    """Software training stage of OLD (conventional GDT, Eq. 3).
+
+    Identical to VAT with ``gamma = 0``: the open-loop baseline has no
+    variation awareness.
+    """
+    cfg = config if config is not None else OLDConfig()
+    vat_cfg = VATConfig(gamma=0.0, sigma=0.0, gdt=cfg.gdt)
+    outcome = train_vat(x, labels, n_classes, vat_cfg)
+    outcome.diagnostics["scheme"] = "OLD"
+    return outcome
+
+
+def _compensated_targets(
+    target_g: np.ndarray,
+    x_reference: np.ndarray,
+    r_wire: float,
+    v_read: float,
+    g_off: float,
+    g_on: float,
+    iterations: int,
+) -> np.ndarray:
+    """Pre-divide targets by the predicted per-column read attenuation.
+
+    To first order the IR-drop acts as a per-column gain error: the
+    bit-line potential rise is driven by the *total* column current, so
+    every cell of a column loses roughly the same fraction of its
+    contribution.  A per-column conductance boost therefore compensates
+    robustly across inputs, whereas a per-cell correction would divide
+    by near-zero factors on rarely-driven rows and blow their
+    conductances to the rail.
+    """
+    x_ref = np.asarray(x_reference, dtype=float)
+    desired = v_read * (x_ref @ target_g)
+    if np.any(desired <= 0):
+        return target_g.copy()
+
+    # Per-column boost factors, iterated toward read(g) == desired and
+    # capped: at heavy loading the attenuation itself grows with the
+    # boost, so an unbounded correction diverges.  The best iterate is
+    # kept, which guarantees the compensation never does worse than
+    # programming the raw targets.
+    boost = np.ones(target_g.shape[1])
+    best_g = target_g.copy()
+    best_err = np.inf
+    for _ in range(max(1, iterations) + 2):
+        g_c = np.clip(target_g * boost[None, :], g_off, g_on)
+        achieved = read_output_currents(g_c, x_ref, r_wire, v_read)
+        ratio = achieved / desired
+        err = float(np.max(np.abs(ratio - 1.0)))
+        if err < best_err:
+            best_err = err
+            best_g = g_c
+        boost = np.clip(boost / np.clip(ratio, 0.2, 2.0), 1.0, 5.0)
+    return best_g
+
+
+def _calibration_probes(
+    x_reference: np.ndarray,
+    count: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """Deterministic calibration input batch around a reference profile.
+
+    Real deployments drive known test vectors; here the probes are the
+    reference activity profile modulated by reproducible random masks,
+    which excites every column with workload-like statistics.
+    """
+    rng = np.random.default_rng(seed)
+    masks = rng.uniform(0.2, 1.8, size=(count, x_reference.size))
+    return np.clip(masks * x_reference[None, :], 0.0, 1.0)
+
+
+def program_pair_open_loop(
+    pair: DifferentialCrossbar,
+    weights: np.ndarray,
+    config: OLDConfig | None = None,
+    x_reference: np.ndarray | None = None,
+    x_calibration: np.ndarray | None = None,
+) -> None:
+    """One-shot open-loop programming of a differential pair.
+
+    Args:
+        pair: Fabricated pair to program; its variation corrupts the
+            result (the planner cannot see it).
+        weights: Signed target weights, shape ``pair.shape``.
+        config: Compensation settings.
+        x_reference: Input statistics for the read-path IR-drop
+            compensation; mean 0.5 activity assumed when omitted.
+        x_calibration: Calibration input batch for the post-programming
+            digital gain fit; synthesised from ``x_reference`` when
+            omitted.
+    """
+    cfg = config if config is not None else OLDConfig()
+    scaler: WeightScaler = pair.scaler
+    weights = np.asarray(weights, dtype=float)
+    if cfg.normalize_weights:
+        w_peak = float(np.max(np.abs(weights)))
+        if w_peak > 0:
+            weights = weights * (scaler.w_max / w_peak)
+    g_pos, g_neg = scaler.weights_to_pair(weights)
+    r_wire = pair.config.r_wire
+    if x_reference is None:
+        x_reference = np.full(pair.shape[0], 0.5)
+    if cfg.compensate_ir_drop and r_wire > 0:
+        device = pair.positive.device
+        g_pos = _compensated_targets(
+            g_pos, x_reference, r_wire, pair.config.v_read,
+            device.g_off, device.g_on, cfg.compensation_iterations,
+        )
+        g_neg = _compensated_targets(
+            g_neg, x_reference, r_wire, pair.config.v_read,
+            device.g_off, device.g_on, cfg.compensation_iterations,
+        )
+    pair.program_conductances(g_pos, g_neg)
+    if cfg.digital_calibration and r_wire > 0:
+        if x_calibration is None:
+            x_calibration = _calibration_probes(np.asarray(x_reference))
+        pair.set_reference_input(np.asarray(x_reference, dtype=float))
+        pair.calibrate_sense(x_calibration)
+        pair.calibrate_digital_gains(x_calibration, weights, "reference")
+
+
+def program_pair_physical(
+    pair: DifferentialCrossbar,
+    weights: np.ndarray,
+    config: OLDConfig | None = None,
+    compensate_program_ir: bool = True,
+) -> None:
+    """Physically pre-calculate and apply programming pulses.
+
+    The fully mechanistic alternative to the abstract
+    ``g = g_target * exp(theta)`` landing model of
+    :func:`program_pair_open_loop`: pulse widths are pre-calculated
+    from the *nominal* switching model (Section 2.2.2), optionally
+    stretched for the predicted programming-time IR-drop, and then
+    integrated by devices whose actual switching rates carry the
+    persistent per-device multiplier ``exp(theta)``.  The landing
+    error therefore emerges from the pulse dynamics instead of being
+    postulated; the test suite shows the two paths produce errors that
+    correlate device-by-device.
+
+    Args:
+        pair: Fabricated pair; both arrays are erased to HRS first
+            (open-loop flows program from a known state).
+        weights: Signed target weights, shape ``pair.shape``;
+            normalised to the representable range when the config asks
+            for it.
+        config: Normalisation settings (compensation fields of the
+            read path do not apply here).
+        compensate_program_ir: Stretch pulses for the delivered-voltage
+            degradation predicted from the target state (the [10]
+            pre-calculation compensation).
+    """
+    cfg = config if config is not None else OLDConfig()
+    scaler: WeightScaler = pair.scaler
+    weights = np.asarray(weights, dtype=float)
+    if cfg.normalize_weights:
+        w_peak = float(np.max(np.abs(weights)))
+        if w_peak > 0:
+            weights = weights * (scaler.w_max / w_peak)
+    g_targets = scaler.weights_to_pair(weights)
+    r_wire = pair.config.r_wire
+    for xbar, target in zip((pair.positive, pair.negative), g_targets):
+        array = xbar.array
+        array.reset_to_hrs()
+        plan = plan_programming(
+            array.switching, array.state, target,
+            r_wire=r_wire,
+            compensate_ir_drop=compensate_program_ir and r_wire > 0,
+        )
+        if r_wire > 0:
+            factors = program_factors(
+                target, r_wire, array.device.v_set
+            ).combined
+        else:
+            factors = 1.0
+        execute_plan(array, plan, delivered_factors=factors)
+    pair.digital_gains = None

@@ -1,0 +1,197 @@
+"""Summed weighted variations (Section 4.2.2, Eq. 12).
+
+``SWV_pq`` measures the damage of storing weight row ``p`` on physical
+crossbar row ``q``:
+
+    SWV_pq = sum_j |w_pj * (1 - e^theta_qj)|          (Eq. 12)
+
+For the differential pair, each signed weight lives in either the
+positive or the negative array, and even a zero weight leaves both
+devices programmed at the ``g_off`` baseline whose own variation leaks
+through; the pair form therefore sums three terms:
+
+    SWV_pq = sum_j ( w+_pj * P+_qj  +  w-_pj * P-_qj
+                     + c * (P+_qj + P-_qj) )
+
+with ``P = |1 - e^theta|`` and ``c = g_off * w_max / (g_on - g_off)``
+the weight-equivalent of the baseline conductance.  All terms are
+non-negative, so the sum is computable as two matrix products -- the
+same triangle-style accumulation Eq. 12 itself uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xbar.mapping import WeightScaler, split_signed
+
+__all__ = [
+    "swv_single",
+    "swv_pair",
+    "position_cost",
+    "clipped_weight_error",
+]
+
+
+def swv_single(weights: np.ndarray, theta: np.ndarray) -> np.ndarray:
+    """Paper-exact single-array SWV matrix (Eq. 12).
+
+    Args:
+        weights: Weight matrix ``(n_logical, m)``.
+        theta: Per-device variation of the crossbar, ``(n_phys, m)``.
+
+    Returns:
+        SWV matrix of shape ``(n_logical, n_phys)``.
+    """
+    w = np.asarray(weights, dtype=float)
+    t = np.asarray(theta, dtype=float)
+    if w.ndim != 2 or t.ndim != 2 or w.shape[1] != t.shape[1]:
+        raise ValueError(
+            f"weights {w.shape} and theta {t.shape} must share column count"
+        )
+    penalty = np.abs(1.0 - np.exp(t))  # (n_phys, m)
+    return np.abs(w) @ penalty.T
+
+
+def clipped_weight_error(
+    magnitude_fraction: np.ndarray | float,
+    theta: np.ndarray,
+    scaler: WeightScaler,
+) -> np.ndarray:
+    """Realised |weight error| including the conductance rails.
+
+    A device programmed toward ``g = g_off + u * (g_on - g_off)`` with
+    multiplier ``exp(theta)`` lands at ``clip(g * e^theta)``; the
+    represented-weight error (in ``w_max`` units of the normalised
+    magnitude ``u``) is therefore *bounded by the rails*.  This matters
+    at large sigma: a strongly positive theta on a near-full-scale
+    weight clips harmlessly at ``g_on``, while a negative theta shrinks
+    the weight without bound toward ``-u``.  The raw Eq. 12 penalty
+    ``|w| * |1 - e^theta|`` misses this asymmetry and can invert the
+    row ranking.
+
+    Args:
+        magnitude_fraction: Normalised magnitudes ``u`` in [0, 1].
+        theta: Device log-multipliers (broadcastable against ``u``).
+        scaler: Weight <-> conductance map.
+
+    Returns:
+        Absolute weight errors in the scaler's weight units.
+    """
+    d = scaler.device
+    u = np.clip(np.asarray(magnitude_fraction, dtype=float), 0.0, 1.0)
+    g = d.g_off + u * d.g_range
+    g_actual = np.clip(g * np.exp(theta), d.g_off, d.g_on)
+    return np.abs(g_actual - g) * scaler.w_max / d.g_range
+
+
+def swv_pair(
+    weights: np.ndarray,
+    theta_pos: np.ndarray,
+    theta_neg: np.ndarray,
+    scaler: WeightScaler,
+    clip_aware: bool = True,
+    magnitude_bins: int = 8,
+) -> np.ndarray:
+    """Differential-pair SWV matrix.
+
+    Args:
+        weights: Signed weight matrix ``(n_logical, m)``; internally
+            normalised to the scaler's full range, mirroring the
+            programming stage.
+        theta_pos: Variation estimates of the positive array,
+            ``(n_phys, m)``.
+        theta_neg: Variation estimates of the negative array,
+            ``(n_phys, m)``.
+        scaler: Weight <-> conductance map (supplies the ``g_off``
+            baseline term and the rails).
+        clip_aware: Use the rail-bounded error model (see
+            :func:`clipped_weight_error`); ``False`` gives the plain
+            Eq. 12 triangle accumulation.
+        magnitude_bins: Weight magnitudes are quantised into this many
+            bins so the clip-aware cost stays a handful of matrix
+            products.
+
+    Returns:
+        SWV matrix of shape ``(n_logical, n_phys)``.
+    """
+    w = np.asarray(weights, dtype=float)
+    tp = np.asarray(theta_pos, dtype=float)
+    tn = np.asarray(theta_neg, dtype=float)
+    if tp.shape != tn.shape or w.shape[1] != tp.shape[1]:
+        raise ValueError("theta maps must match and share columns with W")
+    w_pos, w_neg = split_signed(w)
+    d = scaler.device
+
+    if not clip_aware:
+        p_pos = np.abs(1.0 - np.exp(tp))
+        p_neg = np.abs(1.0 - np.exp(tn))
+        baseline = d.g_off * scaler.w_max / d.g_range
+        swv = w_pos @ p_pos.T + w_neg @ p_neg.T
+        swv += baseline * (
+            p_pos.sum(axis=1) + p_neg.sum(axis=1)
+        )[None, :]
+        return swv
+
+    if magnitude_bins < 1:
+        raise ValueError(
+            f"magnitude_bins must be >= 1, got {magnitude_bins}"
+        )
+    # Normalise like the programming stage: the peak |w| spans the
+    # conductance range.
+    w_peak = float(np.max(np.abs(w)))
+    scale = 1.0 / w_peak if w_peak > 0 else 1.0
+    u_pos = np.clip(w_pos * scale, 0.0, 1.0)
+    u_neg = np.clip(w_neg * scale, 0.0, 1.0)
+
+    edges = np.linspace(0.0, 1.0, magnitude_bins + 1)
+    centres = 0.5 * (edges[:-1] + edges[1:])
+    centres[0] = 0.0  # the zero-weight bin sits at the g_off baseline
+    swv = np.zeros((w.shape[0], tp.shape[0]))
+    for u_map, theta in ((u_pos, tp), (u_neg, tn)):
+        bin_idx = np.minimum(
+            (u_map * magnitude_bins).astype(int), magnitude_bins - 1
+        )
+        for k in range(magnitude_bins):
+            mask = (bin_idx == k).astype(float)
+            if not mask.any():
+                continue
+            err_k = clipped_weight_error(centres[k], theta, scaler)
+            swv += mask @ err_k.T
+    return swv
+
+
+def position_cost(
+    row_sensitivity: np.ndarray, row_read_factors: np.ndarray
+) -> np.ndarray:
+    """Extension beyond Eq. 12: physical-row position penalty.
+
+    When the read path itself suffers IR-drop, a physical row far from
+    the bit-line driver delivers an attenuated contribution; placing a
+    high-sensitivity weight row there loses signal even on perfect
+    devices.  The cost of placing logical row ``p`` on physical row
+    ``q`` is the sensitivity-weighted attenuation
+
+        cost_pq = s_p * (1 - f_q)
+
+    with ``s_p`` the Eq. 11 row sensitivity and ``f_q`` the mean read
+    delivery factor of physical row ``q``.  Added to the SWV matrix
+    (scaled by a trade-off weight) this makes AMP place important rows
+    both on well-behaved devices *and* near the driver -- one of the
+    "other optimization algorithms" the paper's Section 4.2.2 invites.
+
+    Args:
+        row_sensitivity: Eq. 11 sensitivities, shape ``(n_logical,)``.
+        row_read_factors: Per-physical-row mean read attenuation
+            factors in (0, 1], shape ``(n_physical,)``.
+
+    Returns:
+        Cost matrix of shape ``(n_logical, n_physical)``.
+    """
+    s = np.asarray(row_sensitivity, dtype=float)
+    f = np.asarray(row_read_factors, dtype=float)
+    if s.ndim != 1 or f.ndim != 1:
+        raise ValueError("sensitivities and factors must be 1-D")
+    if np.any(f <= 0) or np.any(f > 1 + 1e-12):
+        raise ValueError("read factors must lie in (0, 1]")
+    return np.outer(s, 1.0 - f)

@@ -1,0 +1,166 @@
+"""Lognormal memristor variation models.
+
+The paper adopts the measurement-backed lognormal model of Lee et al.
+(VLSIT'12): a device programmed toward resistance ``r`` lands at
+``r * exp(theta)`` with ``theta ~ N(0, sigma**2)``.  Two mechanisms are
+distinguished (Section 2.1):
+
+* **Parametric variation** -- a *persistent*, device-to-device offset
+  caused by fabrication imperfection.  Each physical device owns one
+  ``theta`` that recurs every time it is programmed.  This persistence
+  is what makes AMP's pre-testing predictive.
+* **Switching variation** -- a *cycle-to-cycle* perturbation drawn
+  fresh on every programming event.  It is much smaller than the
+  parametric component and averages out under repeated sensing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import VariationConfig
+
+__all__ = [
+    "VariationModel",
+    "lognormal_multipliers",
+    "sample_standard_thetas",
+    "THETA_DISTRIBUTIONS",
+]
+
+THETA_DISTRIBUTIONS = ("lognormal", "uniform", "heavy_tailed")
+
+
+def sample_standard_thetas(
+    rng: np.random.Generator,
+    distribution: str,
+    shape: tuple[int, ...],
+) -> np.ndarray:
+    """Unit-standard-deviation draws of the log-multiplier ``theta``.
+
+    The device multiplier is always ``exp(sigma * theta)``; the
+    *shape* of ``theta`` varies:
+
+    * ``'lognormal'`` -- standard normal theta (the paper's model).
+    * ``'uniform'`` -- uniform on ``[-sqrt(3), sqrt(3)]`` (std 1).
+    * ``'heavy_tailed'`` -- Student-t with 4 dof scaled to std 1
+      (``t / sqrt(2)``), modelling occasional far-out devices.
+    """
+    if distribution == "lognormal":
+        return rng.standard_normal(shape)
+    if distribution == "uniform":
+        bound = np.sqrt(3.0)
+        return rng.uniform(-bound, bound, size=shape)
+    if distribution == "heavy_tailed":
+        # Var(t_v) = v / (v - 2) = 2 for v = 4.
+        return rng.standard_t(4, size=shape) / np.sqrt(2.0)
+    raise ValueError(
+        f"distribution must be one of {THETA_DISTRIBUTIONS}, "
+        f"got {distribution!r}"
+    )
+
+
+def lognormal_multipliers(
+    rng: np.random.Generator, sigma: float, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Draw ``exp(theta)`` multipliers with ``theta ~ N(0, sigma^2)``."""
+    if sigma < 0:
+        raise ValueError(f"sigma must be non-negative, got {sigma}")
+    if sigma == 0:
+        return np.ones(shape)
+    return np.exp(rng.normal(0.0, sigma, size=shape))
+
+
+class VariationModel:
+    """Samples and applies the two-tier lognormal variation model.
+
+    Args:
+        config: Statistical parameters (``sigma``, ``sigma_cycle``,
+            defect rates).
+        rng: Random generator; pass a seeded generator for
+            reproducibility.
+    """
+
+    def __init__(
+        self,
+        config: VariationConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        self.config = config if config is not None else VariationConfig()
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    # ------------------------------------------------------------------
+    # parametric (persistent, per-device) component
+    # ------------------------------------------------------------------
+    def sample_parametric_theta(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Persistent per-device ``theta`` values (std ``sigma``).
+
+        The distribution family comes from the config; the paper's
+        lognormal model corresponds to normal ``theta``.
+        """
+        if self.config.sigma == 0:
+            return np.zeros(shape)
+        return self.config.sigma * sample_standard_thetas(
+            self.rng, self.config.distribution, shape
+        )
+
+    def sample_parametric(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Persistent per-device multipliers ``exp(theta)``."""
+        return np.exp(self.sample_parametric_theta(shape))
+
+    # ------------------------------------------------------------------
+    # switching (cycle-to-cycle) component
+    # ------------------------------------------------------------------
+    def sample_cycle(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Per-programming-event multipliers ``exp(eta)``."""
+        return lognormal_multipliers(self.rng, self.config.sigma_cycle, shape)
+
+    # ------------------------------------------------------------------
+    # defects
+    # ------------------------------------------------------------------
+    def sample_defects(self, shape: tuple[int, ...]) -> np.ndarray:
+        """Stuck-at defect map.
+
+        Returns:
+            Integer array of the given shape: 0 for healthy devices,
+            +1 for stuck-at-LRS, -1 for stuck-at-HRS.
+        """
+        cfg = self.config
+        defects = np.zeros(shape, dtype=int)
+        if cfg.defect_rate <= 0:
+            return defects
+        mask = self.rng.random(shape) < cfg.defect_rate
+        polarity = self.rng.random(shape) < cfg.defect_lrs_fraction
+        defects[mask & polarity] = 1
+        defects[mask & ~polarity] = -1
+        return defects
+
+    # ------------------------------------------------------------------
+    # application helpers
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        target: np.ndarray,
+        parametric_theta: np.ndarray,
+        with_cycle_noise: bool = True,
+    ) -> np.ndarray:
+        """Actual programmed values for targets under this model.
+
+        Args:
+            target: Target (conductance or weight) array.
+            parametric_theta: Persistent per-device theta of the same
+                shape as ``target``.
+            with_cycle_noise: Add a fresh cycle-to-cycle draw.
+
+        Returns:
+            ``target * exp(theta) [* exp(eta)]``.
+        """
+        target = np.asarray(target, dtype=float)
+        if parametric_theta.shape != target.shape:
+            raise ValueError(
+                f"theta shape {parametric_theta.shape} does not match "
+                f"target shape {target.shape}"
+            )
+        actual = target * np.exp(parametric_theta)
+        if with_cycle_noise and self.config.sigma_cycle > 0:
+            actual = actual * self.sample_cycle(target.shape)
+        return actual

@@ -1,0 +1,46 @@
+"""Experiment drivers: one per table/figure of the paper's evaluation.
+
+============  ====================================================
+Experiment    Driver
+============  ====================================================
+Fig. 2        :func:`repro.experiments.run_fig2` (column study)
+Fig. 3        :func:`repro.experiments.run_fig3` (IR-drop maps)
+Fig. 4        :func:`repro.experiments.run_fig4` (VAT trade-off)
+Fig. 7        :func:`repro.experiments.run_fig7` (AMP effect)
+Fig. 8        :func:`repro.experiments.run_fig8` (ADC resolution)
+Fig. 9        :func:`repro.experiments.run_fig9` (redundancy)
+Table 1       :func:`repro.experiments.run_table1` (sizes)
+============  ====================================================
+"""
+
+from repro.experiments.common import DEFAULT_SEED, ExperimentScale, get_dataset
+from repro.experiments.fig2_column import ColumnStudyResult, run_fig2
+from repro.experiments.fig3_irdrop import IRDropStudyResult, run_fig3
+from repro.experiments.fig4_vat_tradeoff import VATTradeoffResult, run_fig4
+from repro.experiments.fig7_amp import AMPStudyResult, run_fig7
+from repro.experiments.fig8_adc import ADCStudyResult, run_fig8
+from repro.experiments.fig9_redundancy import (
+    RedundancyStudyResult,
+    run_fig9,
+)
+from repro.experiments.table1_sizes import SizeStudyResult, run_table1
+
+__all__ = [
+    "ADCStudyResult",
+    "AMPStudyResult",
+    "ColumnStudyResult",
+    "DEFAULT_SEED",
+    "ExperimentScale",
+    "IRDropStudyResult",
+    "RedundancyStudyResult",
+    "SizeStudyResult",
+    "VATTradeoffResult",
+    "get_dataset",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_table1",
+]

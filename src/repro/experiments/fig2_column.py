@@ -1,0 +1,147 @@
+"""Fig. 2: CLD vs OLD output discrepancy on a memristor column.
+
+The paper's motivating experiment (Section 3.1): a column of 100
+memristors is trained so that with every word line at 1 V the column
+outputs 1 mA.  Over a 1000-run Monte-Carlo sweep of the variation
+sigma, OLD's output discrepancy grows steadily -- it pre-calculates the
+programming with no knowledge of each device's deviation -- while CLD
+holds a small, flat discrepancy bounded only by its sensing resolution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.circuits.adc import ADC
+from repro.config import DeviceConfig, VariationConfig
+from repro.devices.memristor import MemristorArray
+from repro.experiments.common import ExperimentScale
+
+__all__ = ["ColumnStudyResult", "run_fig2", "DEFAULT_SIGMAS"]
+
+DEFAULT_SIGMAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+
+@dataclasses.dataclass
+class ColumnStudyResult:
+    """Discrepancy curves of the Fig. 2 study.
+
+    Attributes:
+        sigmas: Swept variation levels.
+        old_discrepancy: Mean relative output error of OLD per sigma.
+        cld_discrepancy: Mean relative output error of CLD per sigma.
+        old_std: Trial standard deviation of the OLD error.
+        cld_std: Trial standard deviation of the CLD error.
+        n_trials: Monte-Carlo runs per point.
+    """
+
+    sigmas: np.ndarray
+    old_discrepancy: np.ndarray
+    cld_discrepancy: np.ndarray
+    old_std: np.ndarray
+    cld_std: np.ndarray
+    n_trials: int
+
+    def rows(self) -> list[tuple[float, float, float]]:
+        """(sigma, OLD error, CLD error) rows for tabular printing."""
+        return [
+            (float(s), float(o), float(c))
+            for s, o, c in zip(
+                self.sigmas, self.old_discrepancy, self.cld_discrepancy
+            )
+        ]
+
+
+def _column_trial(
+    rng: np.random.Generator,
+    sigma: float,
+    n_devices: int,
+    target_current: float,
+    v_read: float,
+    adc_bits: int,
+    cld_iterations: int,
+) -> np.ndarray:
+    """One fabrication draw: returns (old_error, cld_error)."""
+    device = DeviceConfig()
+    variation = VariationConfig(sigma=sigma)
+    # Uniform target: every device carries an equal share.
+    g_target = target_current / (n_devices * v_read)
+    targets = np.full((n_devices, 1), g_target)
+
+    # --- OLD: program once, blind to the variations. ---
+    array = MemristorArray((n_devices, 1), device, variation, rng)
+    achieved = array.program_conductance(targets)
+    i_old = v_read * float(achieved.sum())
+
+    # --- CLD: program-and-sense feedback on the same fabric. ---
+    array.reset_to_hrs()
+    adc = ADC(adc_bits, 2.0 * target_current)
+    for _ in range(cld_iterations):
+        i_sensed = float(adc.quantize(v_read * array.conductance.sum()))
+        error = target_current - i_sensed
+        if abs(error) < adc.lsb:
+            break
+        # Spread the correction uniformly across the column.
+        delta_g = np.full(
+            (n_devices, 1), error / (n_devices * v_read) * 0.5
+        )
+        array.update_conductance(delta_g)
+    i_cld = v_read * float(array.conductance.sum())
+
+    return np.array(
+        [
+            abs(i_old - target_current) / target_current,
+            abs(i_cld - target_current) / target_current,
+        ]
+    )
+
+
+def run_fig2(
+    scale: ExperimentScale | None = None,
+    sigmas: tuple[float, ...] = DEFAULT_SIGMAS,
+    n_devices: int = 100,
+    target_current: float = 1e-3,
+    v_read: float = 1.0,
+    adc_bits: int = 6,
+    cld_iterations: int = 60,
+) -> ColumnStudyResult:
+    """Run the Fig. 2 Monte-Carlo column study.
+
+    Args:
+        scale: Controls the Monte-Carlo trial count.
+        sigmas: Variation levels to sweep.
+        n_devices: Column height (the paper uses 100).
+        target_current: Training goal at full drive (1 mA).
+        v_read: Word-line voltage (1 V).
+        adc_bits: CLD sensing resolution.
+        cld_iterations: Feedback-iteration budget for CLD.
+
+    Returns:
+        A :class:`ColumnStudyResult` with one point per sigma.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    old_mean, cld_mean, old_std, cld_std = [], [], [], []
+    for idx, sigma in enumerate(sigmas):
+        summary = run_monte_carlo(
+            lambda rng, s=sigma: _column_trial(
+                rng, s, n_devices, target_current, v_read, adc_bits,
+                cld_iterations,
+            ),
+            trials=scale.column_mc_trials,
+            seed=scale.seed + idx,
+        )
+        old_mean.append(summary.mean[0])
+        cld_mean.append(summary.mean[1])
+        old_std.append(summary.std[0])
+        cld_std.append(summary.std[1])
+    return ColumnStudyResult(
+        sigmas=np.asarray(sigmas, dtype=float),
+        old_discrepancy=np.asarray(old_mean),
+        cld_discrepancy=np.asarray(cld_mean),
+        old_std=np.asarray(old_std),
+        cld_std=np.asarray(cld_std),
+        n_trials=scale.column_mc_trials,
+    )

@@ -1,0 +1,119 @@
+"""Fig. 3: decomposition of the IR-drop pattern and its CLD impact.
+
+Section 3.2 decomposes the programming-voltage degradation of a
+crossbar into a horizontal component (rescaling the learning step by
+``beta``) and a vertical component (the diagonal matrix ``D`` that
+skews convergence).  This driver regenerates the three degradation maps
+of Fig. 3 for an all-LRS crossbar, quantifies the skew ``d_max/d_min``
+as a function of the crossbar height (the paper's "d11/dnn > 2 when
+n > 128" worst case), and translates the skew through the switching
+nonlinearity into the effective update-magnitude ratio (the
+"1/1000" observation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import DeviceConfig
+from repro.devices.switching import SwitchingModel
+from repro.xbar.ir_drop import program_factors
+from repro.xbar.nodal import CrossbarNetwork
+
+__all__ = ["IRDropStudyResult", "run_fig3", "DEFAULT_HEIGHTS"]
+
+DEFAULT_HEIGHTS = (32, 64, 128, 256)
+
+
+@dataclasses.dataclass
+class IRDropStudyResult:
+    """Fig. 3 maps and scaling diagnostics.
+
+    Attributes:
+        heights: Swept crossbar heights ``n``.
+        d_skew: Worst-column ``d_max/d_min`` per height (all-LRS).
+        update_ratio: Effective CLD update-magnitude ratio between the
+            best- and worst-supplied cells of a column, through the
+            switching nonlinearity (the paper's 1/1000 mechanism).
+        beta: Mean horizontal factor per height.
+        maps: Degradation maps of the largest height: dict with
+            ``'horizontal'``, ``'vertical'``, ``'combined'`` factor
+            matrices (Fig. 3 a/c/b respectively).
+        ladder_vs_nodal_error: Max relative deviation of the ladder
+            decomposition's delivered voltage against the full nodal
+            solve, sampled on a small crossbar.
+    """
+
+    heights: np.ndarray
+    d_skew: np.ndarray
+    update_ratio: np.ndarray
+    beta: np.ndarray
+    maps: dict[str, np.ndarray]
+    ladder_vs_nodal_error: float
+
+
+def _validate_against_nodal(
+    n: int, m: int, r_wire: float, device: DeviceConfig
+) -> float:
+    """Max relative delivered-voltage error, ladder vs nodal."""
+    g = np.full((n, m), device.g_on)
+    decomposition = program_factors(g, r_wire, device.v_set)
+    network = CrossbarNetwork(g, r_wire)
+    worst = 0.0
+    cells = [(0, 0), (0, m - 1), (n // 2, m // 2), (n - 1, 0),
+             (n - 1, m - 1)]
+    for row, col in cells:
+        exact = network.program_voltages(row, col, device.v_set)
+        v_exact = exact.device_voltage[row, col]
+        v_ladder = device.v_set * decomposition.combined[row, col]
+        worst = max(worst, abs(v_ladder - v_exact) / v_exact)
+    return worst
+
+
+def run_fig3(
+    heights: tuple[int, ...] = DEFAULT_HEIGHTS,
+    cols: int = 10,
+    r_wire: float = 2.5,
+    device: DeviceConfig | None = None,
+) -> IRDropStudyResult:
+    """Regenerate the Fig. 3 IR-drop study.
+
+    Args:
+        heights: Crossbar heights to sweep (all-LRS worst case).
+        cols: Crossbar width (10 output classes in the paper).
+        r_wire: Wire segment resistance (2.5 Ohm).
+        device: Device parameters.
+
+    Returns:
+        An :class:`IRDropStudyResult`.
+    """
+    device = device if device is not None else DeviceConfig()
+    model = SwitchingModel(device)
+    d_skew, update_ratio, beta = [], [], []
+    maps: dict[str, np.ndarray] = {}
+    for n in heights:
+        g = np.full((n, cols), device.g_on)
+        decomposition = program_factors(g, r_wire, device.v_set)
+        d_skew.append(float(decomposition.d_skew.max()))
+        factors = decomposition.column_factors[:, 0]
+        eff = model.nonlinearity_factor(device.v_set * factors, "set")
+        update_ratio.append(float(eff.min() / eff.max()))
+        beta.append(float(decomposition.beta.mean()))
+        if n == max(heights):
+            maps = {
+                "horizontal": decomposition.row_factors,
+                "vertical": decomposition.column_factors,
+                "combined": decomposition.combined,
+            }
+    error = _validate_against_nodal(min(64, min(heights)), cols, r_wire,
+                                    device)
+    return IRDropStudyResult(
+        heights=np.asarray(heights),
+        d_skew=np.asarray(d_skew),
+        update_ratio=np.asarray(update_ratio),
+        beta=np.asarray(beta),
+        maps=maps,
+        ladder_vs_nodal_error=error,
+    )

@@ -1,0 +1,108 @@
+"""Fig. 4: VAT's trade-off between variation tolerance and training rate.
+
+Sweeping the penalty scaling ``gamma`` from 0 to 1 (Eq. 10) at a fixed
+device variation: the training rate falls as the constraint tightens;
+the clean test rate (no variation) falls with it; but the test rate
+*under* variation first rises to an interior peak -- the whole point of
+VAT -- before the over-tight constraint erodes it again.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.montecarlo import child_rngs
+from repro.core.self_tuning import injected_rate
+from repro.core.vat import VATConfig, train_vat
+from repro.data.datasets import N_CLASSES
+from repro.experiments.common import ExperimentScale, get_dataset
+from repro.nn.metrics import rate_from_scores
+
+__all__ = ["VATTradeoffResult", "run_fig4"]
+
+
+@dataclasses.dataclass
+class VATTradeoffResult:
+    """Per-gamma rates of the Fig. 4 sweep.
+
+    Attributes:
+        gammas: Swept penalty scalings.
+        training_rate: Rate on the training samples (clean weights).
+        test_rate_clean: "Test rate (w/o variation)" of the paper.
+        test_rate_injected: "Test rate (w/ variation)": mean over
+            Monte-Carlo lognormal injections.
+        sigma: Variation level of the injections and the penalty.
+        best_gamma: Arg-max of the injected test rate.
+    """
+
+    gammas: np.ndarray
+    training_rate: np.ndarray
+    test_rate_clean: np.ndarray
+    test_rate_injected: np.ndarray
+    sigma: float
+    best_gamma: float
+
+    def rows(self) -> list[tuple[float, float, float, float]]:
+        """(gamma, training, clean test, injected test) rows."""
+        return [
+            (float(g), float(tr), float(tc), float(ti))
+            for g, tr, tc, ti in zip(
+                self.gammas,
+                self.training_rate,
+                self.test_rate_clean,
+                self.test_rate_injected,
+            )
+        ]
+
+
+def run_fig4(
+    scale: ExperimentScale | None = None,
+    sigma: float = 0.6,
+    image_size: int = 14,
+) -> VATTradeoffResult:
+    """Run the Fig. 4 gamma sweep.
+
+    Args:
+        scale: Sample counts, epochs, gamma grid, injection count.
+        sigma: Device-variation level (pre-AMP, so the raw fabrication
+            sigma).
+        image_size: Benchmark resolution (14x14 keeps the sweep fast;
+            pass 28 for the paper's full crossbar).
+
+    Returns:
+        A :class:`VATTradeoffResult`.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    ds = get_dataset(scale, image_size)
+    rngs = child_rngs(scale.seed + 40, len(scale.gammas))
+
+    # Common injection draws across gammas (paired comparison).
+    shape = (scale.n_injections, ds.n_features, N_CLASSES)
+    thetas = np.random.default_rng(scale.seed + 41).standard_normal(shape)
+
+    training, clean, injected = [], [], []
+    for gamma, rng in zip(scale.gammas, rngs):
+        cfg = VATConfig(gamma=float(gamma), sigma=sigma, gdt=scale.gdt())
+        outcome = train_vat(ds.x_train, ds.y_train, N_CLASSES, cfg)
+        training.append(outcome.training_rate)
+        clean.append(
+            rate_from_scores(ds.x_test @ outcome.weights, ds.y_test)
+        )
+        injected.append(
+            injected_rate(
+                outcome.weights, ds.x_test, ds.y_test, sigma,
+                scale.n_injections, rng, thetas=thetas,
+            )
+        )
+    gammas = np.asarray(scale.gammas, dtype=float)
+    injected_arr = np.asarray(injected)
+    return VATTradeoffResult(
+        gammas=gammas,
+        training_rate=np.asarray(training),
+        test_rate_clean=np.asarray(clean),
+        test_rate_injected=injected_arr,
+        sigma=sigma,
+        best_gamma=float(gammas[int(np.argmax(injected_arr))]),
+    )

@@ -1,0 +1,133 @@
+"""Fig. 8: ADC resolution vs test rate.
+
+The ADC bounds two things at once: the accuracy of AMP's pre-test
+measurements (a coarse converter cannot tell a good device from a bad
+one, so the mapping decays toward random) and the precision of the
+computation-path reads.  The paper sweeps 4 to 8 bits at several
+variation levels and finds the test rate saturating at 6 bits; this
+driver regenerates that sweep with Vortex's VAT+AMP flow (fixed gamma,
+no redundancy, exactly the paper's "no redundancy is added in this
+analysis" setup).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.montecarlo import child_rngs
+from repro.core.amp import RowMapping
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.greedy import greedy_mapping
+from repro.core.old import OLDConfig, program_pair_open_loop
+from repro.core.pretest import pretest_pair
+from repro.core.sensitivity import mapping_order
+from repro.core.swv import swv_pair
+from repro.core.vat import VATConfig, train_vat
+from repro.config import CrossbarConfig, SensingConfig, VariationConfig
+from repro.data.datasets import N_CLASSES
+from repro.experiments.common import ExperimentScale, get_dataset
+from repro.xbar.mapping import WeightScaler
+
+__all__ = ["ADCStudyResult", "run_fig8", "DEFAULT_BITS", "DEFAULT_SIGMAS"]
+
+DEFAULT_BITS = (4, 5, 6, 7, 8)
+DEFAULT_SIGMAS = (0.4, 0.6, 0.8)
+
+
+@dataclasses.dataclass
+class ADCStudyResult:
+    """Test-rate grid of the Fig. 8 sweep.
+
+    Attributes:
+        bits: Swept ADC resolutions.
+        sigmas: Variation levels (one curve each).
+        test_rate: Mean test rate, shape ``(len(sigmas), len(bits))``.
+        gamma: Fixed VAT gamma used throughout.
+    """
+
+    bits: np.ndarray
+    sigmas: np.ndarray
+    test_rate: np.ndarray
+    gamma: float
+
+    def saturation_bits(self, tolerance: float = 0.01) -> list[int]:
+        """Per-sigma smallest resolution within ``tolerance`` of max."""
+        result = []
+        for row in self.test_rate:
+            peak = row.max()
+            ok = np.flatnonzero(row >= peak - tolerance)
+            result.append(int(self.bits[ok[0]]))
+        return result
+
+
+def run_fig8(
+    scale: ExperimentScale | None = None,
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    sigmas: tuple[float, ...] = DEFAULT_SIGMAS,
+    gamma: float = 0.3,
+    image_size: int = 14,
+) -> ADCStudyResult:
+    """Run the Fig. 8 ADC-resolution sweep.
+
+    Args:
+        scale: Sample counts, epochs, fabrication trials.
+        bits: ADC resolutions to sweep.
+        sigmas: Variation levels to sweep.
+        gamma: Fixed VAT penalty scaling (the figure isolates the ADC
+            effect, so gamma is held constant).
+        image_size: Benchmark resolution.
+
+    Returns:
+        An :class:`ADCStudyResult`.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    ds = get_dataset(scale, image_size)
+    n = ds.n_features
+    scaler = WeightScaler(1.0)
+    x_mean = ds.x_train.mean(axis=0)
+
+    rates = np.zeros((len(sigmas), len(bits)))
+    for si, sigma in enumerate(sigmas):
+        cfg = VATConfig(gamma=gamma, sigma=sigma, gdt=scale.gdt())
+        outcome = train_vat(ds.x_train, ds.y_train, N_CLASSES, cfg)
+        weights = outcome.weights
+        rngs = child_rngs(scale.seed + 80 + si, scale.mc_trials)
+        for rng in rngs:
+            # One fabrication per trial, measured at every resolution.
+            fab_seed = rng.integers(2**31)
+            for bi, b in enumerate(bits):
+                spec = HardwareSpec(
+                    variation=VariationConfig(sigma=sigma),
+                    crossbar=CrossbarConfig(
+                        rows=n, cols=N_CLASSES, r_wire=0.0
+                    ),
+                    sensing=SensingConfig(adc_bits=int(b)),
+                )
+                pair = build_pair(
+                    spec, scaler, np.random.default_rng(fab_seed)
+                )
+                pretest = pretest_pair(pair, spec.sensing, rng=rng)
+                swv = swv_pair(
+                    weights, pretest.theta_pos, pretest.theta_neg, scaler
+                )
+                order = mapping_order(weights, x_mean)
+                mapping = RowMapping(
+                    assignment=greedy_mapping(swv, order), n_physical=n
+                )
+                program_pair_open_loop(
+                    pair, mapping.weights_to_physical(weights), OLDConfig(),
+                    x_reference=mapping.inputs_to_physical(x_mean),
+                )
+                rates[si, bi] += hardware_test_rate(
+                    pair, ds.x_test, ds.y_test, spec.ir_mode,
+                    input_map=mapping.inputs_to_physical,
+                )
+    rates /= scale.mc_trials
+    return ADCStudyResult(
+        bits=np.asarray(bits),
+        sigmas=np.asarray(sigmas, dtype=float),
+        test_rate=rates,
+        gamma=gamma,
+    )

@@ -1,0 +1,198 @@
+"""Table 1: Vortex vs CLD at different crossbar sizes.
+
+Section 5.4: the benchmark images are sampled at 28x28, 14x14 and 7x7
+(crossbar heights 784, 196, 49) with wire resistance 2.5 Ohm.  Three
+schemes are compared:
+
+* **CLD w/ IR-drop** -- the close-loop trainer with the delivered-
+  voltage skew of Eq. 2 active; it collapses on the tallest crossbar.
+* **Vortex w/ IR-drop** -- self-tuned VAT + AMP with 100 redundant
+  rows (the paper's default); the open-loop pre-calculation
+  compensates the (deterministic) programming-voltage degradation, so
+  Vortex *improves* with crossbar size as the images gain features.
+* **CLD w/o IR-drop** -- the idealised upper baseline.
+
+Fidelity note: the paper models IR-drop as a *programming-path* effect
+(Section 3.2 analyses the degradation of the programming voltage; the
+inference read is taken at face value).  The drivers follow that
+convention -- CLD's updates are skewed by the Eq. 2 factors while
+reads are ideal.  The library's nodal/fixed-point read models cover
+the read-path physics the paper leaves out; see the IR-model ablation
+bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.montecarlo import child_rngs
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.cld import CLDConfig, train_cld
+from repro.core.old import OLDConfig
+from repro.core.vortex import VortexConfig, run_vortex
+from repro.core.self_tuning import SelfTuningConfig
+from repro.config import CrossbarConfig, VariationConfig
+from repro.data.datasets import N_CLASSES
+from repro.experiments.common import ExperimentScale, get_dataset
+from repro.nn.metrics import rate_from_scores
+from repro.xbar.mapping import WeightScaler
+
+__all__ = ["SizeStudyResult", "run_table1", "DEFAULT_IMAGE_SIZES"]
+
+DEFAULT_IMAGE_SIZES = (28, 14, 7)
+
+SCHEMES = ("cld_ir", "vortex_ir", "cld_no_ir")
+
+
+@dataclasses.dataclass
+class SizeStudyResult:
+    """Table 1 grid: rates per scheme per crossbar size.
+
+    Attributes:
+        image_sizes: Benchmark resolutions swept.
+        rows: Corresponding crossbar heights (size squared).
+        test_rate: Mean test rates, keyed by scheme, each an array over
+            sizes.  Schemes: ``cld_ir``, ``vortex_ir``, ``cld_no_ir``.
+        training_rate: Mean training rates, same layout.
+        r_wire: Wire resistance of the IR-drop rows.
+        redundancy: Redundant rows given to Vortex.
+    """
+
+    image_sizes: np.ndarray
+    rows: np.ndarray
+    test_rate: dict[str, np.ndarray]
+    training_rate: dict[str, np.ndarray]
+    r_wire: float
+    redundancy: int
+
+    def table(self) -> str:
+        """Render in the paper's Table 1 layout."""
+        lines = []
+        header = "rows            " + "".join(
+            f"{int(r):>8d}" for r in self.rows
+        )
+        lines.append(header)
+        names = {
+            "cld_ir": "CLD w/ IR-drop",
+            "vortex_ir": "Vortex w/ IR",
+            "cld_no_ir": "CLD w/o IR",
+        }
+        lines.append("-- test rate (%) --")
+        for key in SCHEMES:
+            vals = "".join(
+                f"{100 * v:8.1f}" for v in self.test_rate[key]
+            )
+            lines.append(f"{names[key]:<16s}{vals}")
+        lines.append("-- training rate (%) --")
+        for key in SCHEMES:
+            vals = "".join(
+                f"{100 * v:8.1f}" for v in self.training_rate[key]
+            )
+            lines.append(f"{names[key]:<16s}{vals}")
+        return "\n".join(lines)
+
+
+def run_table1(
+    scale: ExperimentScale | None = None,
+    image_sizes: tuple[int, ...] = DEFAULT_IMAGE_SIZES,
+    sigma: float = 0.6,
+    r_wire: float = 2.5,
+    redundancy: int = 100,
+) -> SizeStudyResult:
+    """Run the Table 1 crossbar-size comparison.
+
+    Args:
+        scale: Sample counts, epochs, gamma grid, fabrication trials.
+        image_sizes: Benchmark resolutions (28, 14, 7 in the paper).
+        sigma: Device variation (the paper's default 0.6).
+        r_wire: Wire resistance for the IR-drop rows (2.5 Ohm).
+        redundancy: Redundant rows for Vortex (the paper's default
+            100).
+
+    Returns:
+        A :class:`SizeStudyResult`.
+    """
+    scale = scale if scale is not None else ExperimentScale()
+    scaler = WeightScaler(1.0)
+    test = {k: np.zeros(len(image_sizes)) for k in SCHEMES}
+    train = {k: np.zeros(len(image_sizes)) for k in SCHEMES}
+    rows = []
+    for zi, size in enumerate(image_sizes):
+        ds = get_dataset(scale, size)
+        n = ds.n_features
+        rows.append(n)
+        variation = VariationConfig(sigma=sigma)
+        # IR-drop lives in the programming path (paper convention):
+        # the wire resistance skews CLD's update efficiencies, while
+        # inference reads stay ideal for every scheme.
+        spec_ir = HardwareSpec(
+            variation=variation,
+            crossbar=CrossbarConfig(rows=n, cols=N_CLASSES, r_wire=r_wire),
+            ir_mode="ideal",
+        )
+        spec_ideal = HardwareSpec(
+            variation=variation,
+            crossbar=CrossbarConfig(rows=n, cols=N_CLASSES, r_wire=0.0),
+            ir_mode="ideal",
+        )
+        vortex_cfg = VortexConfig(
+            self_tuning=SelfTuningConfig(
+                gammas=scale.gammas, n_injections=scale.n_injections,
+                gdt=scale.gdt(),
+            ),
+            # The open-loop pre-calculation compensates programming-time
+            # IR-drop deterministically (Section 3.2 / [10]); reads are
+            # not IR-modelled, so read-side corrections stay off.
+            programming=OLDConfig(
+                compensate_ir_drop=False, digital_calibration=False,
+            ),
+            integrate=False,
+        )
+        rngs = child_rngs(scale.seed + 10 + zi, scale.mc_trials)
+        for rng in rngs:
+            # --- CLD with IR-drop (programming-path skew). ---
+            pair = build_pair(spec_ir, scaler, rng)
+            outcome = train_cld(
+                pair, ds.x_train, ds.y_train, N_CLASSES,
+                CLDConfig(ir_mode_read="ideal"), rng,
+            )
+            train["cld_ir"][zi] += outcome.training_rate
+            test["cld_ir"][zi] += hardware_test_rate(
+                pair, ds.x_test, ds.y_test, "ideal"
+            )
+            # --- Vortex with IR-drop (+ redundancy). ---
+            pair = build_pair(spec_ir, scaler, rng, rows=n + redundancy)
+            result = run_vortex(
+                pair, ds.x_train, ds.y_train, N_CLASSES, vortex_cfg, rng
+            )
+            train["vortex_ir"][zi] += rate_from_scores(
+                ds.x_train @ result.weights, ds.y_train
+            )
+            test["vortex_ir"][zi] += result.test_rate(
+                pair, ds.x_test, ds.y_test, "ideal"
+            )
+            # --- CLD without IR-drop. ---
+            pair = build_pair(spec_ideal, scaler, rng)
+            outcome = train_cld(
+                pair, ds.x_train, ds.y_train, N_CLASSES,
+                CLDConfig(ir_drop_in_programming=False,
+                          ir_mode_read="ideal"),
+                rng,
+            )
+            train["cld_no_ir"][zi] += outcome.training_rate
+            test["cld_no_ir"][zi] += hardware_test_rate(
+                pair, ds.x_test, ds.y_test, "ideal"
+            )
+    for k in SCHEMES:
+        test[k] /= scale.mc_trials
+        train[k] /= scale.mc_trials
+    return SizeStudyResult(
+        image_sizes=np.asarray(image_sizes),
+        rows=np.asarray(rows),
+        test_rate=test,
+        training_rate=train,
+        r_wire=r_wire,
+        redundancy=redundancy,
+    )

@@ -1,0 +1,86 @@
+"""One-vs-all linear classifier (the paper's network model).
+
+The NCS implements a two-layer network: the input layer drives the
+crossbar rows and the ten output currents directly score the ten digit
+classes ("1 vs. all", Section 4.1.1).  Functionally this is a linear
+classifier ``scores = x @ W`` with prediction ``argmax``; the bias is
+realised as an always-on input row appended to the feature vector, the
+standard crossbar idiom.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["LinearClassifier", "one_vs_all_targets", "add_bias_feature"]
+
+
+def add_bias_feature(x: np.ndarray, value: float = 1.0) -> np.ndarray:
+    """Append a constant (always-on) feature column.
+
+    In crossbar hardware the bias weight occupies one extra row whose
+    word line is tied to the read voltage.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        return np.concatenate([x, [value]])
+    return np.concatenate(
+        [x, np.full((x.shape[0], 1), value, dtype=float)], axis=1
+    )
+
+
+def one_vs_all_targets(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode integer labels as a {-1, +1} one-vs-all target matrix.
+
+    ``Y[i, r] = +1`` iff sample ``i`` belongs to class ``r`` (Eq. 3's
+    ``y_r`` convention).
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    if np.any(labels < 0) or np.any(labels >= n_classes):
+        raise ValueError(f"labels must lie in [0, {n_classes})")
+    y = -np.ones((labels.size, n_classes))
+    y[np.arange(labels.size), labels] = 1.0
+    return y
+
+
+class LinearClassifier:
+    """A weight matrix with argmax decision rule.
+
+    Args:
+        weights: Weight matrix ``(n_features, n_classes)``; copied.
+    """
+
+    def __init__(self, weights: np.ndarray):
+        w = np.array(weights, dtype=float, copy=True)
+        if w.ndim != 2:
+            raise ValueError("weights must be 2-D")
+        self.weights = w
+
+    @property
+    def n_features(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def n_classes(self) -> int:
+        return self.weights.shape[1]
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Class scores ``x @ W`` for a sample or batch."""
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.n_features:
+            raise ValueError(
+                f"input width {x.shape[-1]} != n_features {self.n_features}"
+            )
+        return x @ self.weights
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Predicted class indices (argmax of scores)."""
+        s = self.scores(x)
+        return np.argmax(s, axis=-1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy against integer labels."""
+        labels = np.asarray(labels)
+        return float(np.mean(self.predict(x) == labels))

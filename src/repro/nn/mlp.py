@@ -1,0 +1,180 @@
+"""Two-crossbar multilayer perceptron deployment.
+
+The paper's NCS is a single weight layer (784x10).  Scaling the same
+hardware story to a hidden layer needs two crossbar pairs with a
+neuron nonlinearity between them -- the canonical next step its
+introduction motivates (deep networks as the workload pushing the
+memory wall).  This module provides:
+
+* a small software MLP (one hidden layer, ReLU) trained by plain
+  backprop on the hinge-style one-vs-all targets, and
+* a hardware deployment that runs both matrix-vector products through
+  differential crossbar pairs, with the activation computed in the
+  digital domain between them (the usual mixed-signal partitioning).
+
+Because the hidden activations must re-enter a crossbar as word-line
+drives in [0, 1], the deployment rescales each layer's activations by
+a calibrated digital gain -- the same normalisation-invariance trick
+the single-layer flow uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.nn.linear import one_vs_all_targets
+
+__all__ = ["MLPConfig", "MLPWeights", "train_mlp", "MLPOnCrossbars"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MLPConfig:
+    """Software MLP hyper-parameters.
+
+    Attributes:
+        hidden: Hidden-layer width.
+        learning_rate: Backprop step size.
+        epochs: Full-batch iterations.
+        momentum: Heavy-ball coefficient.
+        l2: Ridge regularisation.
+        seed: Weight-initialisation seed.
+    """
+
+    hidden: int = 64
+    learning_rate: float = 0.2
+    epochs: int = 300
+    momentum: float = 0.9
+    l2: float = 1e-4
+    seed: int = 0
+
+
+@dataclasses.dataclass
+class MLPWeights:
+    """Trained parameters of the one-hidden-layer network.
+
+    Attributes:
+        w1: Input -> hidden weights ``(n, h)`` (bias folded in via an
+            always-on input handled by the caller if desired).
+        w2: Hidden -> output weights ``(h, m)``.
+    """
+
+    w1: np.ndarray
+    w2: np.ndarray
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Software forward pass."""
+        hidden = np.maximum(np.asarray(x, dtype=float) @ self.w1, 0.0)
+        return hidden @ self.w2
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return float(np.mean(
+            np.argmax(self.scores(x), axis=1) == np.asarray(labels)
+        ))
+
+
+def train_mlp(
+    x: np.ndarray,
+    labels: np.ndarray,
+    n_classes: int,
+    config: MLPConfig | None = None,
+) -> MLPWeights:
+    """Train the one-hidden-layer network with full-batch backprop.
+
+    Hinge-style objective on one-vs-all targets (consistent with the
+    single-layer flow): ``sum max(0, 1 - y * score)`` back-propagated
+    through the ReLU hidden layer.
+    """
+    cfg = config if config is not None else MLPConfig()
+    x = np.asarray(x, dtype=float)
+    y = one_vs_all_targets(np.asarray(labels), n_classes)
+    s, n = x.shape
+    rng = np.random.default_rng(cfg.seed)
+    w1 = rng.normal(0.0, np.sqrt(2.0 / n), size=(n, cfg.hidden))
+    w2 = rng.normal(0.0, np.sqrt(2.0 / cfg.hidden),
+                    size=(cfg.hidden, n_classes))
+    v1 = np.zeros_like(w1)
+    v2 = np.zeros_like(w2)
+    for _ in range(cfg.epochs):
+        hidden_pre = x @ w1
+        hidden = np.maximum(hidden_pre, 0.0)
+        scores = hidden @ w2
+        margin = y * scores
+        active = (margin < 1.0).astype(float)
+        d_scores = -(active * y) / s
+        g2 = hidden.T @ d_scores + cfg.l2 * w2
+        d_hidden = (d_scores @ w2.T) * (hidden_pre > 0)
+        g1 = x.T @ d_hidden + cfg.l2 * w1
+        v1 = cfg.momentum * v1 - cfg.learning_rate * g1
+        v2 = cfg.momentum * v2 - cfg.learning_rate * g2
+        w1 = w1 + v1
+        w2 = w2 + v2
+    return MLPWeights(w1=w1, w2=w2)
+
+
+class MLPOnCrossbars:
+    """Hardware inference of a trained MLP through two crossbar pairs.
+
+    Args:
+        weights: Trained software parameters.
+        layer1: Differential pair (or tiled pair) with
+            ``shape == w1.shape``; programmed by :meth:`program`.
+        layer2: Differential pair with ``shape == w2.shape``.
+
+    Both pairs carry their own fabrication variation; the deployment
+    programs them with the usual global normalisation per layer and
+    restores the scales digitally around the ReLU.
+    """
+
+    def __init__(self, weights: MLPWeights, layer1, layer2):
+        self.weights = weights
+        if tuple(layer1.shape) != weights.w1.shape:
+            raise ValueError(
+                f"layer1 shape {layer1.shape} != w1 {weights.w1.shape}"
+            )
+        if tuple(layer2.shape) != weights.w2.shape:
+            raise ValueError(
+                f"layer2 shape {layer2.shape} != w2 {weights.w2.shape}"
+            )
+        self.layer1 = layer1
+        self.layer2 = layer2
+        self._scale1 = float(np.max(np.abs(weights.w1))) or 1.0
+        self._scale2 = float(np.max(np.abs(weights.w2))) or 1.0
+        self._hidden_gain = 1.0
+
+    def program(self, x_calibration: np.ndarray | None = None) -> None:
+        """Program both layers and calibrate the inter-layer gain.
+
+        The hidden activations must fit the second crossbar's [0, 1]
+        input range; a digital gain (folded into the final scores)
+        normalises them using a calibration batch.
+        """
+        # Normalise each layer to the representable range; the scales
+        # are restored digitally in the forward pass (argmax-invariant).
+        self.layer1.program_weights(self.weights.w1 / self._scale1)
+        self.layer2.program_weights(self.weights.w2 / self._scale2)
+        if x_calibration is not None:
+            hidden = self._hidden(np.atleast_2d(x_calibration))
+            peak = float(np.quantile(hidden, 0.999))
+            self._hidden_gain = 1.0 / peak if peak > 0 else 1.0
+
+    def _hidden(self, x: np.ndarray) -> np.ndarray:
+        out = self.layer1.matvec(x) * self._scale1
+        return np.maximum(out, 0.0)
+
+    def scores(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
+        """Hardware forward pass (scores up to a positive factor)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        out1 = self.layer1.matvec(x, ir_mode) * self._scale1
+        hidden = np.clip(np.maximum(out1, 0.0) * self._hidden_gain,
+                         0.0, 1.0)
+        out2 = self.layer2.matvec(hidden, ir_mode) * self._scale2
+        return out2
+
+    def accuracy(
+        self, x: np.ndarray, labels: np.ndarray, ir_mode: str = "ideal"
+    ) -> float:
+        """Hardware classification rate."""
+        preds = np.argmax(self.scores(x, ir_mode), axis=1)
+        return float(np.mean(preds == np.asarray(labels)))

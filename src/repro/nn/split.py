@@ -1,0 +1,72 @@
+"""Train / validation splitting for the self-tuning loop.
+
+The Vortex self-tuning process (Fig. 5) separates the training samples
+into "one large and one small" group: the large group trains, the
+small group validates each candidate ``gamma`` under injected
+variations.  The split is stratified by class so small validation sets
+still cover all ten digits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Split", "stratified_split"]
+
+
+@dataclasses.dataclass
+class Split:
+    """Index sets of a train/validation split."""
+
+    train_idx: np.ndarray
+    val_idx: np.ndarray
+
+    def apply(
+        self, x: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise ``(x_train, y_train, x_val, y_val)``."""
+        return (
+            x[self.train_idx],
+            labels[self.train_idx],
+            x[self.val_idx],
+            labels[self.val_idx],
+        )
+
+
+def stratified_split(
+    labels: np.ndarray,
+    val_fraction: float,
+    rng: np.random.Generator,
+) -> Split:
+    """Class-stratified split of sample indices.
+
+    Args:
+        labels: Integer class labels, shape ``(s,)``.
+        val_fraction: Fraction of each class routed to validation
+            (0 < f < 1); at least one sample per present class goes to
+            validation.
+        rng: Random generator controlling the shuffle.
+
+    Returns:
+        A :class:`Split` with disjoint, exhaustive index arrays.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.size == 0:
+        raise ValueError("labels must be a non-empty 1-D array")
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1), got {val_fraction}")
+    train_parts: list[np.ndarray] = []
+    val_parts: list[np.ndarray] = []
+    for cls in np.unique(labels):
+        idx = np.flatnonzero(labels == cls)
+        idx = rng.permutation(idx)
+        n_val = max(1, int(round(val_fraction * idx.size)))
+        if n_val >= idx.size:
+            n_val = idx.size - 1 if idx.size > 1 else 0
+        val_parts.append(idx[:n_val])
+        train_parts.append(idx[n_val:])
+    train_idx = np.sort(np.concatenate(train_parts))
+    val_idx = np.sort(np.concatenate(val_parts)) if val_parts else np.array([], int)
+    return Split(train_idx=train_idx, val_idx=val_idx)

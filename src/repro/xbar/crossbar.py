@@ -1,0 +1,179 @@
+"""Single memristor crossbar: analog vector-matrix multiplication.
+
+Ties together the device array (:mod:`repro.devices.memristor`), the
+IR-drop models (:mod:`repro.xbar.ir_drop`, :mod:`repro.xbar.nodal`) and
+the sensing chain (:mod:`repro.circuits.sensing`) into the unit the
+training schemes operate on: input voltages on the word lines, output
+currents on the bit lines (Section 2.2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.sensing import CurrentSense
+from repro.config import CrossbarConfig, DeviceConfig, VariationConfig
+from repro.devices.memristor import MemristorArray
+from repro.xbar.ir_drop import (
+    read_column_gains,
+    read_output_currents,
+)
+from repro.xbar.nodal import CrossbarNetwork
+
+__all__ = ["Crossbar", "IR_MODES"]
+
+IR_MODES = ("ideal", "reference", "fixed_point", "nodal")
+
+
+class Crossbar:
+    """An ``n x m`` memristor crossbar with configurable read fidelity.
+
+    Args:
+        config: Geometry and interconnect parameters.
+        device: Nominal device parameters.
+        variation: Device variability statistics.
+        rng: Random generator (fabrication draw + cycle noise).
+        sense: Optional sensing chain applied to read currents;
+            ``None`` senses ideally.
+
+    The read model fidelity is selected per call via ``ir_mode``:
+
+    * ``'ideal'`` -- zero wire resistance, ``I = v_read * (x @ G)``.
+    * ``'reference'`` -- effective conductances attenuated at a cached
+      reference input (cheap, used inside large sweeps).
+    * ``'fixed_point'`` -- per-sample fixed-point wire solve.
+    * ``'nodal'`` -- full sparse nodal analysis (ground truth).
+    """
+
+    def __init__(
+        self,
+        config: CrossbarConfig | None = None,
+        device: DeviceConfig | None = None,
+        variation: VariationConfig | None = None,
+        rng: np.random.Generator | None = None,
+        sense: CurrentSense | None = None,
+    ):
+        self.config = config if config is not None else CrossbarConfig()
+        self.device = device if device is not None else DeviceConfig()
+        self.array = MemristorArray(
+            (self.config.rows, self.config.cols),
+            device=self.device,
+            variation=variation,
+            rng=rng,
+        )
+        self.sense = sense
+        self._reference_factors: np.ndarray | None = None
+        self._reference_input: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.array.shape
+
+    @property
+    def conductance(self) -> np.ndarray:
+        """Actual device conductances, shape ``(rows, cols)``."""
+        return self.array.conductance
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+    def program(self, target_g: np.ndarray, with_cycle_noise: bool = True):
+        """Open-loop program all cells toward target conductances."""
+        result = self.array.program_conductance(target_g, with_cycle_noise)
+        self._reference_factors = None
+        return result
+
+    def update(
+        self,
+        delta_g: np.ndarray,
+        efficiency: np.ndarray | float = 1.0,
+        with_cycle_noise: bool = True,
+    ):
+        """Close-loop incremental conductance update."""
+        result = self.array.update_conductance(
+            delta_g, efficiency, with_cycle_noise
+        )
+        self._reference_factors = None
+        return result
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def set_reference_input(self, x_reference: np.ndarray) -> None:
+        """Set the input statistics used by the ``'reference'`` model."""
+        x_reference = np.asarray(x_reference, dtype=float)
+        if x_reference.shape != (self.shape[0],):
+            raise ValueError(
+                f"x_reference must have shape ({self.shape[0]},)"
+            )
+        self._reference_input = x_reference
+        self._reference_factors = None
+
+    def _get_reference_factors(self) -> np.ndarray:
+        """Per-column gain factors of the fast ``'reference'`` model."""
+        if self._reference_factors is None:
+            x_ref = self._reference_input
+            if x_ref is None:
+                x_ref = np.full(self.shape[0], 0.5)
+            self._reference_factors = read_column_gains(
+                self.conductance,
+                x_ref,
+                self.config.r_wire,
+                self.config.v_read,
+            )
+        return self._reference_factors
+
+    def read(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
+        """Sensed bit-line currents for input(s) ``x`` in [0, 1].
+
+        Args:
+            x: Input features, shape ``(rows,)`` or batch ``(s, rows)``.
+            ir_mode: One of :data:`IR_MODES`.
+
+        Returns:
+            Currents in Ampere, shape ``(cols,)`` or ``(s, cols)``.
+        """
+        if ir_mode not in IR_MODES:
+            raise ValueError(f"ir_mode must be one of {IR_MODES}, got {ir_mode!r}")
+        x = np.asarray(x, dtype=float)
+        g = self.conductance
+        v_read = self.config.v_read
+        if ir_mode == "ideal" or self.config.r_wire == 0:
+            currents = v_read * (x @ g)
+        elif ir_mode == "reference":
+            currents = v_read * (x @ g) * self._get_reference_factors()
+        elif ir_mode == "fixed_point":
+            currents = read_output_currents(
+                g, x, self.config.r_wire, v_read
+            )
+        else:  # nodal
+            network = CrossbarNetwork(g, self.config.r_wire)
+            if x.ndim == 1:
+                currents = network.read(x, v_read)
+            else:
+                currents = np.stack(
+                    [network.read(row, v_read) for row in x]
+                )
+        if self.sense is not None:
+            currents = self.sense.sense(currents)
+        return currents
+
+    def read_single_cell(
+        self, row: int, col: int, v_read: float | None = None
+    ) -> float:
+        """Pre-test read of one cell (others assumed quiescent).
+
+        Drives only word line ``row`` and senses only bit line ``col``;
+        the AMP pre-test keeps all other cells at HRS so sneak currents
+        are negligible (Section 4.2.1), making the ideal single-cell
+        current the faithful model here.  Sensing-chain effects (noise,
+        ADC quantisation) still apply.
+        """
+        v = v_read if v_read is not None else self.config.v_read
+        current = v * self.conductance[row, col]
+        if self.sense is not None:
+            current = float(self.sense.sense(current))
+        return float(current)

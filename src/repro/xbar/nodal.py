@@ -1,0 +1,250 @@
+"""Full sparse nodal analysis of a memristor crossbar.
+
+This is the circuit-level ground truth for the IR-drop studies of
+Section 3.2.  The crossbar is modelled as the complete resistive
+network: every cross-point memristor connects its word-line (top) node
+to its bit-line (bottom) node; adjacent nodes along a wire are joined
+by the segment resistance ``r_wire``; each word line is driven from its
+left end and each bit line is terminated (driven or virtually grounded)
+at its bottom end, both through one additional wire segment.
+
+Geometry and indexing::
+
+        col 0   col 1  ...  col m-1
+  row 0  T00-----T01--------T0,m-1      <- word line 0, driven at left
+          |       |           |            (memristors are the vertical
+  row 1  T10-----T11--------T1,m-1         bars between T and B planes)
+          .       .           .
+  bottom B(n-1,0) ... B(n-1,m-1)        <- bit lines terminate at bottom
+
+Unknowns are the ``2*n*m`` node voltages (top plane then bottom plane).
+The solver supports arbitrary driver voltages on both planes so the
+same code answers both questions of the paper:
+
+* **Read / compute mode** -- word lines driven at the input voltages,
+  bit lines virtually grounded; the outputs are the bit-line currents.
+* **Program mode** -- the V/2 scheme of Section 2.2.2: one word line at
+  V, one bit line at 0, everything else at V/2; the output of interest
+  is the voltage actually delivered across the selected cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+from scipy.sparse import coo_matrix, csc_matrix
+from scipy.sparse.linalg import splu
+
+__all__ = ["NodalSolution", "CrossbarNetwork"]
+
+
+@dataclasses.dataclass
+class NodalSolution:
+    """Result of one nodal solve.
+
+    Attributes:
+        v_top: Word-line plane node voltages, shape ``(n, m)``.
+        v_bottom: Bit-line plane node voltages, shape ``(n, m)``.
+        device_voltage: Voltage across each memristor, ``(n, m)``.
+        device_current: Current through each memristor, ``(n, m)``.
+        column_current: Current delivered into each bit-line
+            termination, shape ``(m,)``.
+    """
+
+    v_top: np.ndarray
+    v_bottom: np.ndarray
+    device_voltage: np.ndarray
+    device_current: np.ndarray
+    column_current: np.ndarray
+
+
+class CrossbarNetwork:
+    """Sparse nodal model of an ``n x m`` crossbar with wire resistance.
+
+    Args:
+        conductance: Memristor conductance matrix ``G``, shape
+            ``(n, m)``, in Siemens.
+        r_wire: Wire segment resistance in Ohm (> 0).
+
+    The conductance matrix is captured at construction; build a new
+    network (or call :meth:`update_conductance`) after reprogramming.
+    """
+
+    def __init__(self, conductance: np.ndarray, r_wire: float):
+        conductance = np.asarray(conductance, dtype=float)
+        if conductance.ndim != 2:
+            raise ValueError("conductance must be a 2-D matrix")
+        if np.any(conductance <= 0):
+            raise ValueError("conductances must be strictly positive")
+        if r_wire <= 0:
+            raise ValueError(
+                f"r_wire must be > 0 for nodal analysis, got {r_wire}"
+            )
+        self.g = conductance
+        self.n, self.m = conductance.shape
+        self.r_wire = float(r_wire)
+        self._lu = None
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def _top(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return i * self.m + j
+
+    def _bottom(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        return self.n * self.m + i * self.m + j
+
+    def _assemble(self) -> None:
+        """Build and factorise the conductance (Laplacian) matrix."""
+        n, m = self.n, self.m
+        g_w = 1.0 / self.r_wire
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        diag = np.zeros(2 * n * m)
+
+        def add_edge(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
+            rows.append(a)
+            cols.append(b)
+            vals.append(-g)
+            rows.append(b)
+            cols.append(a)
+            vals.append(-g)
+            np.add.at(diag, a, g)
+            np.add.at(diag, b, g)
+
+        ii, jj = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
+        ii = ii.ravel()
+        jj = jj.ravel()
+
+        # Memristors: top(i,j) -- bottom(i,j).
+        add_edge(self._top(ii, jj), self._bottom(ii, jj), self.g.ravel())
+
+        # Word-line segments: top(i,j) -- top(i,j+1).
+        ih, jh = np.meshgrid(np.arange(n), np.arange(m - 1), indexing="ij")
+        ih = ih.ravel()
+        jh = jh.ravel()
+        if ih.size:
+            add_edge(
+                self._top(ih, jh),
+                self._top(ih, jh + 1),
+                np.full(ih.size, g_w),
+            )
+
+        # Bit-line segments: bottom(i,j) -- bottom(i+1,j).
+        iv, jv = np.meshgrid(np.arange(n - 1), np.arange(m), indexing="ij")
+        iv = iv.ravel()
+        jv = jv.ravel()
+        if iv.size:
+            add_edge(
+                self._bottom(iv, jv),
+                self._bottom(iv + 1, jv),
+                np.full(iv.size, g_w),
+            )
+
+        # Driver connections add g_w to the diagonal of boundary nodes;
+        # the source current enters through the right-hand side.
+        left = self._top(np.arange(n), np.zeros(n, dtype=int))
+        np.add.at(diag, left, g_w)
+        bottom = self._bottom(np.full(m, n - 1), np.arange(m))
+        np.add.at(diag, bottom, g_w)
+
+        size = 2 * n * m
+        all_rows = np.concatenate(rows + [np.arange(size)])
+        all_cols = np.concatenate(cols + [np.arange(size)])
+        all_vals = np.concatenate(vals + [diag])
+        matrix = coo_matrix(
+            (all_vals, (all_rows, all_cols)), shape=(size, size)
+        )
+        self._lu = splu(csc_matrix(matrix))
+
+    def update_conductance(self, conductance: np.ndarray) -> None:
+        """Replace the device conductances and invalidate the factor."""
+        conductance = np.asarray(conductance, dtype=float)
+        if conductance.shape != (self.n, self.m):
+            raise ValueError(
+                f"expected shape {(self.n, self.m)}, got {conductance.shape}"
+            )
+        if np.any(conductance <= 0):
+            raise ValueError("conductances must be strictly positive")
+        self.g = conductance
+        self._lu = None
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(
+        self, v_rows: np.ndarray, v_cols: np.ndarray | float = 0.0
+    ) -> NodalSolution:
+        """Solve the network for given driver voltages.
+
+        Args:
+            v_rows: Word-line driver voltages, shape ``(n,)``.
+            v_cols: Bit-line termination voltages, scalar or ``(m,)``
+                (0 for virtual-ground sensing).
+
+        Returns:
+            A :class:`NodalSolution` with node voltages and currents.
+        """
+        if self._lu is None:
+            self._assemble()
+        n, m = self.n, self.m
+        v_rows = np.asarray(v_rows, dtype=float)
+        if v_rows.shape != (n,):
+            raise ValueError(f"v_rows must have shape ({n},), got {v_rows.shape}")
+        v_cols = np.broadcast_to(np.asarray(v_cols, dtype=float), (m,))
+        g_w = 1.0 / self.r_wire
+
+        rhs = np.zeros(2 * n * m)
+        left = self._top(np.arange(n), np.zeros(n, dtype=int))
+        rhs[left] = v_rows * g_w
+        bottom = self._bottom(np.full(m, n - 1), np.arange(m))
+        rhs[bottom] += v_cols * g_w
+
+        v = self._lu.solve(rhs)
+        v_top = v[: n * m].reshape(n, m)
+        v_bottom = v[n * m :].reshape(n, m)
+        dv = v_top - v_bottom
+        i_dev = dv * self.g
+        i_col = (v_bottom[n - 1, :] - v_cols) * g_w
+        return NodalSolution(
+            v_top=v_top,
+            v_bottom=v_bottom,
+            device_voltage=dv,
+            device_current=i_dev,
+            column_current=i_col,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience modes
+    # ------------------------------------------------------------------
+    def read(self, x: np.ndarray, v_read: float = 1.0) -> np.ndarray:
+        """Column output currents for input vector ``x`` in [0, 1]."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n,):
+            raise ValueError(f"x must have shape ({self.n},), got {x.shape}")
+        return self.solve(x * v_read, 0.0).column_current
+
+    def program_voltages(
+        self, row: int, col: int, v_prog: float
+    ) -> NodalSolution:
+        """Nodal solve of the V/2 scheme selecting cell ``(row, col)``.
+
+        The selected word line is driven at ``v_prog``, the selected bit
+        line at 0, and every other wire at ``v_prog / 2``
+        (Section 2.2.2).  The delivered programming voltage is
+        ``solution.device_voltage[row, col]``.
+        """
+        if not (0 <= row < self.n and 0 <= col < self.m):
+            raise IndexError(f"cell ({row}, {col}) outside {self.n}x{self.m}")
+        v_rows = np.full(self.n, v_prog / 2.0)
+        v_rows[row] = v_prog
+        v_cols = np.full(self.m, v_prog / 2.0)
+        v_cols[col] = 0.0
+        return self.solve(v_rows, v_cols)
+
+    def ideal_read(self, x: np.ndarray, v_read: float = 1.0) -> np.ndarray:
+        """Zero-wire-resistance reference: ``I = v_read * (x @ G)``."""
+        x = np.asarray(x, dtype=float)
+        return v_read * (x @ self.g)

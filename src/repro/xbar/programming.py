@@ -1,0 +1,176 @@
+"""Open-loop pulse-plan computation (the "pre-calculation" of OLD).
+
+The open-loop off-device scheme "pre-calculates the programming pulse
+width/magnitude of each memristor based on the target resistance value
+and then programs every device according to the calculations"
+(Section 1, citing the authors' ICCAD'14 work).  This module implements
+that pre-calculation against the nominal switching model of
+:mod:`repro.devices.switching`, including the IR-drop compensation the
+paper credits to [10]: because the wire resistance is known at design
+time, the pulse width for a cell whose delivered voltage is degraded by
+a factor ``f`` can be stretched by the (deterministic) slow-down of the
+switching rate at ``f * V``.
+
+Two execution paths are provided:
+
+* :func:`execute_plan` applies the pulses *physically* -- each device
+  integrates its pulse with its own (unknown to the planner) rate
+  multiplier, which is how parametric variation corrupts open-loop
+  programming in the real array.
+* The abstract path used by the experiment drivers lands directly at
+  ``g_target * exp(theta)`` (``MemristorArray.program_conductance``),
+  which is the model the paper's equations assume.  The test suite
+  verifies the two paths agree to first order in ``theta``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.devices.memristor import MemristorArray
+from repro.devices.switching import SwitchingModel
+from repro.xbar.ir_drop import program_factors
+
+__all__ = ["PulsePlan", "plan_programming", "execute_plan"]
+
+
+@dataclasses.dataclass
+class PulsePlan:
+    """Per-cell programming recipe.
+
+    Attributes:
+        polarity: ``+1`` for SET (toward LRS), ``-1`` for RESET, ``0``
+            for cells already at target.
+        voltage: Nominal pulse magnitude per cell (V).
+        width: Pulse width per cell (s), already compensated for
+            IR-drop if the plan was built with compensation.
+        target_state: The internal state each cell should reach.
+    """
+
+    polarity: np.ndarray
+    voltage: np.ndarray
+    width: np.ndarray
+    target_state: np.ndarray
+
+
+def plan_programming(
+    model: SwitchingModel,
+    current_state: np.ndarray,
+    target_g: np.ndarray,
+    r_wire: float = 0.0,
+    compensate_ir_drop: bool = True,
+) -> PulsePlan:
+    """Pre-calculate pulses that move an array to target conductances.
+
+    Args:
+        model: Nominal switching model (the planner never sees the
+            per-device variation).
+        current_state: Present internal states, shape ``(n, m)``.
+        target_g: Target conductances, shape ``(n, m)``.
+        r_wire: Wire segment resistance for IR-drop compensation; 0
+            disables the correction.
+        compensate_ir_drop: Stretch pulse widths by the predicted
+            switching-rate slow-down at the degraded delivered voltage.
+
+    Returns:
+        A :class:`PulsePlan`.
+    """
+    current_state = np.asarray(current_state, dtype=float)
+    target_state = model.state_of(target_g)
+    # Exponential relaxation cannot reach a rail in finite time: nudge
+    # rail targets a hair inside the range.
+    rail_eps = 1e-6
+    target_state = np.clip(target_state, rail_eps, 1.0 - rail_eps)
+    if current_state.shape != target_state.shape:
+        raise ValueError("current_state and target_g shapes differ")
+
+    d = model.device
+    polarity = np.sign(target_state - current_state).astype(int)
+    voltage = np.where(polarity >= 0, d.v_set, d.v_reset)
+
+    width = np.zeros_like(current_state)
+    set_mask = polarity > 0
+    reset_mask = polarity < 0
+    if np.any(set_mask):
+        width[set_mask] = model.pulse_width_for(
+            current_state[set_mask], target_state[set_mask], d.v_set, "set"
+        )
+    if np.any(reset_mask):
+        width[reset_mask] = model.pulse_width_for(
+            current_state[reset_mask],
+            target_state[reset_mask],
+            d.v_reset,
+            "reset",
+        )
+
+    if compensate_ir_drop and r_wire > 0:
+        # Delivered voltage factors predicted from the *target* state
+        # (the planner knows the intended final conductances).
+        decomposition = program_factors(
+            np.asarray(target_g, dtype=float), r_wire, float(d.v_set)
+        )
+        factors = decomposition.combined
+        # rate(f*V)/rate(V) < 1: stretch the pulse by its inverse.
+        slow_set = model.nonlinearity_factor(d.v_set * factors, "set")
+        slow_reset = model.nonlinearity_factor(d.v_reset * factors, "reset")
+        slowdown = np.where(polarity >= 0, slow_set, slow_reset)
+        width = width / np.maximum(slowdown, 1e-12)
+
+    return PulsePlan(
+        polarity=polarity,
+        voltage=voltage,
+        width=width,
+        target_state=target_state,
+    )
+
+
+def execute_plan(
+    array: MemristorArray,
+    plan: PulsePlan,
+    delivered_factors: np.ndarray | float = 1.0,
+    rate_variation: bool = True,
+) -> np.ndarray:
+    """Physically apply a pulse plan to a device array.
+
+    Each cell integrates its pulse with the *actual* delivered voltage
+    (``plan.voltage * delivered_factors``) and, when ``rate_variation``
+    is set, with its own persistent rate multiplier ``exp(theta)`` --
+    the physical origin of the lognormal programming error the paper's
+    equations model directly in conductance space.
+
+    Args:
+        array: The fabricated device array to program.
+        plan: Pre-calculated pulses.
+        delivered_factors: Actual per-cell voltage delivery factors
+            (e.g. from :func:`repro.xbar.ir_drop.program_factors`).
+        rate_variation: Scale each device's switching rate by
+            ``exp(theta)``.
+
+    Returns:
+        The conductance array after programming.
+    """
+    model = array.switching
+    d = array.device
+    factors = np.broadcast_to(
+        np.asarray(delivered_factors, dtype=float), array.shape
+    )
+    state = array.state.copy()
+
+    rate_mult = np.exp(array.theta) if rate_variation else np.ones(array.shape)
+    for pol, name in ((1, "set"), (-1, "reset")):
+        mask = plan.polarity == pol
+        if not np.any(mask):
+            continue
+        v_nom = d.v_set if pol > 0 else d.v_reset
+        v_delivered = v_nom * factors[mask]
+        # Effective width absorbs the per-device rate multiplier.
+        eff_width = plan.width[mask] * rate_mult[mask]
+        state[mask] = model.apply_pulse(
+            state[mask], v_delivered, eff_width, name
+        )
+
+    healthy = array.defects == 0
+    array.state[healthy] = state[healthy]
+    return array.conductance

@@ -1,0 +1,51 @@
+"""Tests for lognormal fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.lognormal import (
+    fit_lognormal_multipliers,
+    ks_lognormal,
+)
+
+
+class TestFit:
+    def test_recovers_parameters(self, rng):
+        theta = rng.normal(0.1, 0.5, 20000)
+        fit = fit_lognormal_multipliers(np.exp(theta))
+        assert fit.mu == pytest.approx(0.1, abs=0.02)
+        assert fit.sigma == pytest.approx(0.5, rel=0.03)
+        assert fit.n == 20000
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            fit_lognormal_multipliers(np.array([1.0]))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_lognormal_multipliers(np.array([1.0, -1.0]))
+
+    def test_accepts_2d_input(self, rng):
+        values = np.exp(rng.normal(0, 0.3, (10, 10)))
+        fit = fit_lognormal_multipliers(values)
+        assert fit.n == 100
+
+
+class TestKS:
+    def test_lognormal_data_accepted(self, rng):
+        values = np.exp(rng.normal(0, 0.4, 1000))
+        fit = fit_lognormal_multipliers(values)
+        assert ks_lognormal(values, fit) > 0.01
+
+    def test_uniform_data_rejected(self, rng):
+        values = rng.uniform(0.5, 1.5, 1000)
+        fit = fit_lognormal_multipliers(values)
+        assert ks_lognormal(values, fit) < 0.05
+
+    def test_rejects_nonpositive(self, rng):
+        values = np.exp(rng.normal(0, 0.4, 100))
+        fit = fit_lognormal_multipliers(values)
+        with pytest.raises(ValueError, match="positive"):
+            ks_lognormal(np.array([0.0, 1.0]), fit)

@@ -1,0 +1,59 @@
+"""Tests for the Monte-Carlo harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import child_rngs, run_monte_carlo
+
+
+class TestChildRngs:
+    def test_count(self):
+        assert len(child_rngs(0, 5)) == 5
+
+    def test_independent_streams(self):
+        rngs = child_rngs(0, 3)
+        draws = [r.random(10) for r in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_deterministic(self):
+        a = [r.random() for r in child_rngs(42, 4)]
+        b = [r.random() for r in child_rngs(42, 4)]
+        assert a == b
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            child_rngs(0, 0)
+
+
+class TestRunMonteCarlo:
+    def test_scalar_statistics(self):
+        summary = run_monte_carlo(lambda rng: rng.normal(5.0, 1.0),
+                                  trials=2000, seed=1)
+        assert summary.mean == pytest.approx(5.0, abs=0.1)
+        assert summary.std == pytest.approx(1.0, abs=0.1)
+        assert summary.n_trials == 2000
+
+    def test_vector_statistics(self):
+        summary = run_monte_carlo(
+            lambda rng: np.array([1.0, rng.random()]), trials=50, seed=2
+        )
+        assert summary.values.shape == (50, 2)
+        assert summary.mean[0] == 1.0
+        assert summary.std[0] == 0.0
+
+    def test_percentiles_ordered(self):
+        summary = run_monte_carlo(lambda rng: rng.random(), trials=500,
+                                  seed=3)
+        assert summary.percentile_5 < summary.mean < summary.percentile_95
+
+    def test_deterministic_by_seed(self):
+        a = run_monte_carlo(lambda rng: rng.random(), trials=10, seed=9)
+        b = run_monte_carlo(lambda rng: rng.random(), trials=10, seed=9)
+        assert np.array_equal(a.values, b.values)
+
+    def test_single_trial_std_zero_division_safe(self):
+        summary = run_monte_carlo(lambda rng: 1.0, trials=1, seed=0)
+        assert summary.std == 0.0

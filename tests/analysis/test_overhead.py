@@ -1,0 +1,112 @@
+"""Tests for the area/energy overhead models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.overhead import CostModel
+from repro.config import CrossbarConfig
+
+
+@pytest.fixture
+def model() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def crossbar() -> CrossbarConfig:
+    return CrossbarConfig(rows=196, cols=10, r_wire=2.5)
+
+
+class TestArea:
+    def test_breakdown_positive(self, model, crossbar):
+        est = model.area(crossbar, adc_bits=6)
+        assert est.cells > 0
+        assert est.drivers > 0
+        assert est.sensing > 0
+        assert est.total == pytest.approx(
+            est.cells + est.drivers + est.sensing
+        )
+
+    def test_cells_scale_with_rows(self, model, crossbar):
+        small = model.area(crossbar, 6, rows=100)
+        large = model.area(crossbar, 6, rows=200)
+        assert large.cells == pytest.approx(2 * small.cells)
+
+    def test_sensing_scales_with_bits(self, model, crossbar):
+        lo = model.area(crossbar, 4)
+        hi = model.area(crossbar, 8)
+        assert hi.sensing == pytest.approx(2 * lo.sensing)
+        assert hi.cells == lo.cells
+
+    def test_invalid_arguments(self, model, crossbar):
+        with pytest.raises(ValueError):
+            model.area(crossbar, 0)
+
+    def test_overhead_zero_for_no_redundancy(self, model, crossbar):
+        assert model.area_overhead(crossbar, 6, 0) == 0.0
+
+    def test_overhead_monotone(self, model, crossbar):
+        o25 = model.area_overhead(crossbar, 6, 25)
+        o100 = model.area_overhead(crossbar, 6, 100)
+        assert 0 < o25 < o100
+
+    def test_overhead_below_row_ratio(self, model, crossbar):
+        # Sensing area does not grow with rows, so the macro overhead
+        # is below the raw row ratio.
+        assert model.area_overhead(crossbar, 6, 98) < 0.5
+
+    def test_negative_redundancy_rejected(self, model, crossbar):
+        with pytest.raises(ValueError, match="extra_rows"):
+            model.area_overhead(crossbar, 6, -1)
+
+
+class TestReadEnergy:
+    def test_positive_and_split(self, model, crossbar, rng):
+        g = np.full((196, 10), 1e-5)
+        x = rng.random((8, 196))
+        est = model.read_energy((g, g), x, crossbar, 6)
+        assert est.array > 0
+        assert est.conversion > 0
+        assert est.total == pytest.approx(est.array + est.conversion)
+
+    def test_scales_with_conductance(self, model, crossbar, rng):
+        x = rng.random((4, 196))
+        low = model.read_energy(
+            (np.full((196, 10), 1e-6),) * 2, x, crossbar, 6
+        )
+        high = model.read_energy(
+            (np.full((196, 10), 1e-5),) * 2, x, crossbar, 6
+        )
+        assert high.array == pytest.approx(10 * low.array)
+
+    def test_width_validated(self, model, crossbar, rng):
+        with pytest.raises(ValueError, match="width"):
+            model.read_energy(
+                (np.ones((10, 10)),) * 2, rng.random((2, 196)),
+                crossbar, 6,
+            )
+
+
+class TestProgrammingEnergy:
+    def test_formula(self, model):
+        widths = np.full((2, 2), 1e-6)
+        voltages = np.full((2, 2), 2.0)
+        g = np.full((2, 2), 1e-5)
+        # E = 4 * V^2 g t = 4 * 4 * 1e-5 * 1e-6
+        assert model.programming_energy(widths, voltages, g) == (
+            pytest.approx(1.6e-10)
+        )
+
+    def test_negative_width_rejected(self, model):
+        with pytest.raises(ValueError, match="widths"):
+            model.programming_energy(
+                np.array([[-1.0]]), np.ones((1, 1)), np.ones((1, 1))
+            )
+
+    def test_shape_mismatch_rejected(self, model):
+        with pytest.raises(ValueError, match="shapes"):
+            model.programming_energy(
+                np.ones((2, 2)), np.ones((2, 3)), np.ones((2, 2))
+            )

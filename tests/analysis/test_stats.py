@@ -1,0 +1,44 @@
+"""Tests for statistical helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    mean_absolute_deviation,
+    relative_discrepancy,
+    summarize_array,
+)
+
+
+class TestRelativeDiscrepancy:
+    def test_values(self):
+        out = relative_discrepancy(np.array([1.1, 0.9]), np.array([1.0, 1.0]))
+        assert np.allclose(out, [0.1, 0.1])
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(ValueError, match="non-zero"):
+            relative_discrepancy(np.array([1.0]), np.array([0.0]))
+
+    def test_negative_targets_supported(self):
+        out = relative_discrepancy(np.array([-1.2]), np.array([-1.0]))
+        assert out[0] == pytest.approx(0.2)
+
+
+class TestMAD:
+    def test_constant_array(self):
+        assert mean_absolute_deviation(np.full(5, 3.0)) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_deviation(np.array([0.0, 2.0])) == 1.0
+
+
+class TestSummarize:
+    def test_keys_and_values(self):
+        s = summarize_array(np.array([1.0, 2.0, 3.0]))
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["median"] == 2.0
+        assert s["std"] == pytest.approx(np.sqrt(2 / 3))

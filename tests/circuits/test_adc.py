@@ -1,0 +1,99 @@
+"""Tests for the ADC quantiser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adc import ADC
+
+
+class TestConstruction:
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError, match="bits"):
+            ADC(0, 1.0)
+
+    def test_rejects_nonpositive_full_scale(self):
+        with pytest.raises(ValueError, match="full_scale"):
+            ADC(6, 0.0)
+
+    def test_levels_and_lsb(self):
+        adc = ADC(4, 1.6)
+        assert adc.levels == 16
+        assert adc.lsb == pytest.approx(0.1)
+
+    def test_bipolar_lsb_spans_both_signs(self):
+        adc = ADC(4, 0.8, bipolar=True)
+        assert adc.lsb == pytest.approx(0.1)
+
+    def test_repr(self):
+        assert "bits=6" in repr(ADC(6, 1.0))
+
+
+class TestQuantize:
+    def test_quantization_error_bounded(self):
+        adc = ADC(6, 1.0)
+        x = np.linspace(0, 1, 517)
+        q = adc.quantize(x)
+        # Half an LSB everywhere except the top code, which sits one
+        # LSB below full scale.
+        assert np.max(np.abs(q - x)) <= adc.lsb + 1e-12
+        interior = x < 1.0 - adc.lsb
+        assert np.max(np.abs(q[interior] - x[interior])) <= adc.lsb / 2 + 1e-12
+
+    @given(
+        bits=st.integers(min_value=2, max_value=12),
+        value=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_error_within_half_lsb_in_range(self, bits, value):
+        adc = ADC(bits, 1.0)
+        q = float(adc.quantize(value))
+        # The top code sits one LSB below full scale.
+        assert abs(q - value) <= adc.lsb + 1e-12
+
+    def test_clipping_above_full_scale(self):
+        adc = ADC(4, 1.0)
+        assert float(adc.quantize(5.0)) <= 1.0
+
+    def test_unipolar_clips_negative_to_zero(self):
+        adc = ADC(4, 1.0)
+        assert float(adc.quantize(-3.0)) == 0.0
+
+    def test_bipolar_preserves_sign(self):
+        adc = ADC(6, 1.0, bipolar=True)
+        assert float(adc.quantize(-0.5)) == pytest.approx(-0.5, abs=adc.lsb)
+        assert float(adc.quantize(0.5)) == pytest.approx(0.5, abs=adc.lsb)
+
+    def test_quantize_idempotent(self):
+        adc = ADC(5, 2.0)
+        x = np.random.default_rng(0).uniform(0, 2, 100)
+        q1 = adc.quantize(x)
+        assert np.array_equal(adc.quantize(q1), q1)
+
+    def test_monotone(self):
+        adc = ADC(4, 1.0)
+        x = np.linspace(-0.5, 1.5, 301)
+        q = adc.quantize(x)
+        assert np.all(np.diff(q) >= 0)
+
+    def test_more_bits_reduce_error(self):
+        x = np.random.default_rng(1).uniform(0, 1, 1000)
+        errors = [
+            np.mean(np.abs(ADC(b, 1.0).quantize(x) - x)) for b in (4, 6, 8)
+        ]
+        assert errors[0] > errors[1] > errors[2]
+
+
+class TestCodes:
+    def test_codes_are_integers_in_range(self):
+        adc = ADC(3, 1.0)
+        codes = adc.codes(np.linspace(-1, 2, 50))
+        assert codes.dtype.kind == "i"
+        assert codes.min() >= 0 and codes.max() <= 7
+
+    def test_zero_maps_to_code_zero_unipolar(self):
+        adc = ADC(6, 1.0)
+        assert int(adc.codes(0.0)) == 0

@@ -1,0 +1,54 @@
+"""Tests for the input driver (DAC)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.dac import InputDriver
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_v_read(self):
+        with pytest.raises(ValueError, match="v_read"):
+            InputDriver(v_read=0.0)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError, match="levels"):
+            InputDriver(levels=1)
+
+    def test_repr_mentions_mode(self):
+        assert "analog" in repr(InputDriver())
+        assert "levels=4" in repr(InputDriver(levels=4))
+
+
+class TestDrive:
+    def test_scales_by_v_read(self):
+        drv = InputDriver(v_read=2.0)
+        out = drv.drive(np.array([0.0, 0.5, 1.0]))
+        assert np.allclose(out, [0.0, 1.0, 2.0])
+
+    def test_clips_out_of_range(self):
+        drv = InputDriver()
+        out = drv.drive(np.array([-0.5, 1.5]))
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_signed_mode_accepts_negative(self):
+        drv = InputDriver(signed=True)
+        out = drv.drive(np.array([-1.0, 0.0, 1.0]))
+        assert np.allclose(out, [-1.0, 0.0, 1.0])
+
+    def test_quantised_levels(self):
+        drv = InputDriver(levels=3)
+        out = drv.drive(np.array([0.0, 0.26, 0.5, 0.74, 1.0]))
+        assert np.allclose(out, [0.0, 0.5, 0.5, 0.5, 1.0])
+
+    def test_analog_mode_is_continuous(self):
+        drv = InputDriver()
+        x = np.linspace(0, 1, 17)
+        assert np.allclose(drv.drive(x), x)
+
+    def test_batch_shape_preserved(self):
+        drv = InputDriver(levels=16)
+        x = np.random.default_rng(0).random((5, 9))
+        assert drv.drive(x).shape == (5, 9)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_dataset
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for a single test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small 7x7 benchmark shared across tests (rendered once)."""
+    return make_dataset(n_train=300, n_test=150, seed=99).undersampled(7)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """Medium 14x14 benchmark for the heavier integration tests."""
+    return make_dataset(n_train=600, n_test=300, seed=98).undersampled(14)

@@ -1,0 +1,103 @@
+"""Tests for close-loop on-device training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.cld import CLDConfig, train_cld
+from repro.xbar.mapping import WeightScaler
+
+
+def make_spec(rows, sigma=0.0, r_wire=0.0):
+    return HardwareSpec(
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.0),
+        crossbar=CrossbarConfig(rows=rows, cols=10, r_wire=r_wire),
+    )
+
+
+def quick_cfg(**kwargs):
+    defaults = dict(epochs=25, ir_drop_in_programming=False,
+                    ir_mode_read="ideal")
+    defaults.update(kwargs)
+    return CLDConfig(**defaults)
+
+
+class TestBasicTraining:
+    def test_learns_tiny_benchmark(self, tiny_dataset, rng):
+        ds = tiny_dataset
+        pair = build_pair(make_spec(ds.n_features), WeightScaler(1.0), rng)
+        outcome = train_cld(pair, ds.x_train, ds.y_train, 10,
+                            quick_cfg(), rng)
+        assert outcome.training_rate > 0.55
+        assert outcome.diagnostics["scheme"] == "CLD"
+
+    def test_error_history_decreases(self, tiny_dataset, rng):
+        ds = tiny_dataset
+        pair = build_pair(make_spec(ds.n_features), WeightScaler(1.0), rng)
+        outcome = train_cld(pair, ds.x_train, ds.y_train, 10,
+                            quick_cfg(), rng)
+        history = outcome.diagnostics["error_history"]
+        assert history[-1] < history[0]
+
+    def test_effective_weights_returned(self, tiny_dataset, rng):
+        ds = tiny_dataset
+        pair = build_pair(make_spec(ds.n_features), WeightScaler(1.0), rng)
+        outcome = train_cld(pair, ds.x_train, ds.y_train, 10,
+                            quick_cfg(epochs=5), rng)
+        assert outcome.weights.shape == (ds.n_features, 10)
+        assert np.allclose(outcome.weights, pair.effective_weights())
+
+    def test_input_width_validated(self, tiny_dataset, rng):
+        ds = tiny_dataset
+        pair = build_pair(make_spec(ds.n_features + 1), WeightScaler(1.0),
+                          rng)
+        with pytest.raises(ValueError, match="must be"):
+            train_cld(pair, ds.x_train, ds.y_train, 10, quick_cfg(), rng)
+
+
+class TestVariationTolerance:
+    def test_feedback_tolerates_parametric_variation(self, tiny_dataset):
+        # The paper's Section 3.1 claim: CLD's rate is nearly flat in
+        # sigma while the open loop degrades.
+        ds = tiny_dataset
+        rates = {}
+        for sigma in (0.0, 0.8):
+            trial = []
+            for seed in range(2):
+                rng = np.random.default_rng(seed)
+                pair = build_pair(
+                    make_spec(ds.n_features, sigma=sigma),
+                    WeightScaler(1.0), rng,
+                )
+                train_cld(pair, ds.x_train, ds.y_train, 10,
+                          quick_cfg(), rng)
+                trial.append(
+                    hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+                )
+            rates[sigma] = np.mean(trial)
+        assert rates[0.8] > rates[0.0] - 0.1
+
+
+class TestIRDropImpact:
+    def test_ir_drop_skews_training_on_tall_crossbar(self, small_dataset):
+        # Section 3.2/Table 1: the vertical degradation freezes rows
+        # and hurts training quality as the crossbar grows.
+        ds = small_dataset
+        results = {}
+        for r_wire, skew in ((0.0, False), (12.0, True)):
+            rng = np.random.default_rng(3)
+            pair = build_pair(
+                make_spec(ds.n_features, r_wire=r_wire),
+                WeightScaler(1.0), rng,
+            )
+            cfg = CLDConfig(
+                epochs=20,
+                ir_drop_in_programming=skew,
+                ir_mode_read="reference" if skew else "ideal",
+            )
+            outcome = train_cld(pair, ds.x_train, ds.y_train, 10, cfg, rng)
+            results[skew] = outcome.training_rate
+        assert results[True] < results[False]

@@ -1,0 +1,115 @@
+"""Tests for the physical pulse-level open-loop programming path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import (
+    OLDConfig,
+    program_pair_open_loop,
+    program_pair_physical,
+    train_old,
+)
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def make_pair(rows, sigma=0.0, r_wire=0.0, seed=0):
+    spec = HardwareSpec(
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.0),
+        crossbar=CrossbarConfig(rows=rows, cols=10, r_wire=r_wire),
+        quantize_read=False,
+    )
+    return build_pair(spec, WeightScaler(1.0), np.random.default_rng(seed))
+
+
+@pytest.fixture(scope="module")
+def trained_weights(tiny_dataset):
+    ds = tiny_dataset
+    return train_old(
+        ds.x_train, ds.y_train, 10, OLDConfig(gdt=GDTConfig(epochs=60))
+    ).weights
+
+
+class TestPhysicalPath:
+    def test_matches_abstract_path_without_variation(
+        self, tiny_dataset, trained_weights
+    ):
+        ds = tiny_dataset
+        pair_a = make_pair(ds.n_features)
+        program_pair_open_loop(pair_a, trained_weights)
+        pair_p = make_pair(ds.n_features)
+        program_pair_physical(pair_p, trained_weights)
+        rate_a = hardware_test_rate(pair_a, ds.x_test, ds.y_test, "ideal")
+        rate_p = hardware_test_rate(pair_p, ds.x_test, ds.y_test, "ideal")
+        assert rate_p == pytest.approx(rate_a, abs=0.02)
+        assert np.allclose(
+            pair_p.effective_weights(),
+            pair_a.effective_weights(),
+            atol=1e-3,
+        )
+
+    def test_landing_errors_correlate_across_paths(
+        self, tiny_dataset, trained_weights
+    ):
+        # Same fabricated thetas -> the pulse-dynamics path and the
+        # paper's abstract lognormal model identify the same bad cells.
+        ds = tiny_dataset
+        pair_a = make_pair(ds.n_features, sigma=0.4, seed=5)
+        program_pair_open_loop(pair_a, trained_weights)
+        pair_p = make_pair(ds.n_features, sigma=0.4, seed=5)
+        program_pair_physical(pair_p, trained_weights)
+        la = np.log(pair_a.positive.conductance).ravel()
+        lp = np.log(pair_p.positive.conductance).ravel()
+        assert np.corrcoef(la, lp)[0, 1] > 0.9
+
+    def test_variation_degrades_physical_path_too(
+        self, tiny_dataset, trained_weights
+    ):
+        ds = tiny_dataset
+        rates = {}
+        for sigma in (0.0, 1.0):
+            trial = []
+            for seed in range(3):
+                pair = make_pair(ds.n_features, sigma=sigma, seed=seed)
+                program_pair_physical(pair, trained_weights)
+                trial.append(hardware_test_rate(
+                    pair, ds.x_test, ds.y_test, "ideal"
+                ))
+            rates[sigma] = float(np.mean(trial))
+        assert rates[1.0] < rates[0.0] - 0.05
+
+    def test_ir_compensation_improves_physical_programming(
+        self, tiny_dataset, trained_weights
+    ):
+        # Pulse stretching against the predicted delivered voltage is
+        # the paper's [10] pre-calculation compensation.
+        ds = tiny_dataset
+        errors = {}
+        for compensate in (True, False):
+            pair = make_pair(ds.n_features, r_wire=8.0, seed=1)
+            program_pair_physical(
+                pair, trained_weights, compensate_program_ir=compensate
+            )
+            w_peak = np.abs(trained_weights).max()
+            intended = trained_weights / w_peak
+            realised = pair.effective_weights()
+            errors[compensate] = float(
+                np.mean(np.abs(realised - intended))
+            )
+        assert errors[True] < errors[False]
+
+    def test_rail_targets_are_programmable(self):
+        # Normalisation maps the peak weight exactly to w_max (the
+        # conductance rail); the planner must handle it.
+        pair = make_pair(8)
+        w = np.zeros((8, 10))
+        w[0, 0] = 1.0
+        w[1, 1] = -1.0
+        program_pair_physical(pair, w)
+        realised = pair.effective_weights()
+        assert realised[0, 0] == pytest.approx(1.0, abs=1e-3)
+        assert realised[1, 1] == pytest.approx(-1.0, abs=1e-3)

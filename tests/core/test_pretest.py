@@ -1,0 +1,136 @@
+"""Tests for AMP pre-testing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import ADC
+from repro.config import (
+    CrossbarConfig,
+    DeviceConfig,
+    SensingConfig,
+    VariationConfig,
+)
+from repro.core.pretest import (
+    pretest_array,
+    pretest_pair,
+    robust_sigma,
+)
+from repro.devices.memristor import MemristorArray
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.pair import DifferentialCrossbar
+
+
+def make_array(sigma, shape=(32, 8), seed=0, sigma_cycle=0.0,
+               defect_rate=0.0):
+    return MemristorArray(
+        shape,
+        variation=VariationConfig(sigma=sigma, sigma_cycle=sigma_cycle,
+                                  defect_rate=defect_rate),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def fine_adc():
+    device = DeviceConfig()
+    return ADC(12, device.g_on * 1.0)
+
+
+class TestRobustSigma:
+    def test_recovers_normal_sigma(self, rng):
+        theta = rng.normal(0, 0.5, 20000)
+        assert robust_sigma(theta) == pytest.approx(0.5, rel=0.05)
+
+    def test_resists_outliers(self, rng):
+        theta = rng.normal(0, 0.5, 5000)
+        theta[:100] = 10.0  # stuck-at-style outliers
+        assert robust_sigma(theta) == pytest.approx(0.5, rel=0.1)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            robust_sigma(np.array([1.0]))
+
+
+class TestPretestArray:
+    def test_recovers_theta_with_fine_adc(self):
+        array = make_array(sigma=0.4, seed=1)
+        theta_hat = pretest_array(array, fine_adc(), repeats=4)
+        # Clipping at the rails limits recovery for extreme devices;
+        # compare on the unclipped bulk.
+        bulk = np.abs(array.theta) < 1.0
+        assert np.corrcoef(
+            theta_hat[bulk].ravel(), array.theta[bulk].ravel()
+        )[0, 1] > 0.98
+
+    def test_leaves_array_reset(self):
+        array = make_array(sigma=0.4)
+        pretest_array(array, fine_adc())
+        assert np.allclose(array.conductance, array.device.g_off)
+
+    def test_coarse_adc_degrades_estimates(self):
+        errors = {}
+        for bits in (3, 10):
+            array = make_array(sigma=0.4, seed=2)
+            adc = ADC(bits, array.device.g_on)
+            theta_hat = pretest_array(array, adc, repeats=4)
+            bulk = np.abs(array.theta) < 1.0
+            errors[bits] = float(
+                np.mean(np.abs(theta_hat[bulk] - array.theta[bulk]))
+            )
+        assert errors[3] > errors[10]
+
+    def test_repeats_average_cycle_noise(self):
+        errors = {}
+        for repeats in (1, 16):
+            array = make_array(sigma=0.4, seed=3, sigma_cycle=0.15)
+            theta_hat = pretest_array(array, fine_adc(), repeats=repeats)
+            bulk = np.abs(array.theta) < 1.0
+            errors[repeats] = float(
+                np.mean(np.abs(theta_hat[bulk] - array.theta[bulk]))
+            )
+        assert errors[16] < errors[1]
+
+    def test_detects_stuck_cells_as_extreme(self):
+        array = make_array(sigma=0.2, seed=4, defect_rate=0.2)
+        theta_hat = pretest_array(array, fine_adc())
+        stuck_lrs = array.defects == 1
+        healthy = array.defects == 0
+        assert np.all(
+            theta_hat[stuck_lrs] > np.abs(theta_hat[healthy]).mean() + 1.0
+        )
+
+    def test_invalid_args(self):
+        array = make_array(sigma=0.2)
+        with pytest.raises(ValueError, match="repeats"):
+            pretest_array(array, fine_adc(), repeats=0)
+        with pytest.raises(ValueError, match="target_fraction"):
+            pretest_array(array, fine_adc(), target_fraction=0.0)
+
+
+class TestPretestPair:
+    def test_sigma_estimate_close_to_truth(self):
+        pair = DifferentialCrossbar(
+            WeightScaler(1.0),
+            config=CrossbarConfig(rows=48, cols=10, r_wire=0.0),
+            variation=VariationConfig(sigma=0.5, sigma_cycle=0.02),
+            rng=np.random.default_rng(5),
+        )
+        result = pretest_pair(pair, SensingConfig(adc_bits=10))
+        assert result.sigma_estimate == pytest.approx(0.5, rel=0.2)
+        assert result.theta_pos.shape == (48, 10)
+        assert result.theta_neg.shape == (48, 10)
+
+    def test_estimates_track_true_theta(self):
+        pair = DifferentialCrossbar(
+            WeightScaler(1.0),
+            config=CrossbarConfig(rows=32, cols=8, r_wire=0.0),
+            variation=VariationConfig(sigma=0.4, sigma_cycle=0.0),
+            rng=np.random.default_rng(6),
+        )
+        true_pos, true_neg = pair.theta_maps()
+        result = pretest_pair(pair, SensingConfig(adc_bits=10))
+        bulk = np.abs(true_pos) < 1.0
+        assert np.corrcoef(
+            result.theta_pos[bulk], true_pos[bulk]
+        )[0, 1] > 0.9

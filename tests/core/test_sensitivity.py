@@ -1,0 +1,58 @@
+"""Tests for the Eq. 11 sensitivity analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import (
+    cell_sensitivity,
+    mapping_order,
+    row_sensitivity,
+)
+
+
+class TestCellSensitivity:
+    def test_formula(self):
+        w = np.array([[2.0, -3.0], [0.5, 1.0]])
+        x = np.array([0.5, 1.0])
+        s = cell_sensitivity(w, x)
+        assert np.allclose(s, [[1.0, 1.5], [0.5, 1.0]])
+
+    def test_zero_input_zero_sensitivity(self):
+        w = np.ones((3, 2))
+        x = np.array([0.0, 1.0, 0.0])
+        s = cell_sensitivity(w, x)
+        assert np.all(s[0] == 0) and np.all(s[2] == 0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cell_sensitivity(np.ones((3, 2)), np.ones(4))
+
+    def test_negative_x_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            cell_sensitivity(np.ones((2, 2)), np.array([-0.1, 0.5]))
+
+
+class TestRowSensitivity:
+    def test_sums_over_columns(self):
+        w = np.array([[1.0, -1.0], [2.0, 2.0]])
+        x = np.array([1.0, 0.5])
+        assert np.allclose(row_sensitivity(w, x), [2.0, 2.0])
+
+
+class TestMappingOrder:
+    def test_most_sensitive_first(self):
+        w = np.array([[0.1], [5.0], [1.0]])
+        x = np.ones(3)
+        assert mapping_order(w, x).tolist() == [1, 2, 0]
+
+    def test_input_weighting_matters(self):
+        w = np.array([[1.0], [1.0]])
+        x = np.array([0.1, 0.9])
+        assert mapping_order(w, x).tolist() == [1, 0]
+
+    def test_ties_stable(self):
+        w = np.ones((4, 1))
+        x = np.ones(4)
+        assert mapping_order(w, x).tolist() == [0, 1, 2, 3]

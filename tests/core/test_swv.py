@@ -1,0 +1,125 @@
+"""Tests for summed weighted variations (Eq. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.swv import swv_pair, swv_single
+from repro.xbar.mapping import WeightScaler
+
+
+class TestSWVSingle:
+    def test_paper_formula(self):
+        w = np.array([[1.0, -2.0]])
+        theta = np.array([[0.1, -0.2], [0.0, 0.0]])
+        swv = swv_single(w, theta)
+        expected_00 = (
+            1.0 * abs(1 - np.exp(0.1)) + 2.0 * abs(1 - np.exp(-0.2))
+        )
+        assert swv.shape == (1, 2)
+        assert swv[0, 0] == pytest.approx(expected_00)
+        assert swv[0, 1] == pytest.approx(0.0)
+
+    def test_zero_variation_zero_cost(self):
+        swv = swv_single(np.ones((3, 4)), np.zeros((5, 4)))
+        assert np.all(swv == 0.0)
+
+    def test_cost_monotone_in_variation(self):
+        w = np.ones((1, 3))
+        small = swv_single(w, np.full((2, 3), 0.1))
+        large = swv_single(w, np.full((2, 3), 0.5))
+        assert np.all(large > small)
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="column"):
+            swv_single(np.ones((2, 3)), np.zeros((4, 5)))
+
+
+class TestSWVPair:
+    def test_shape(self):
+        scaler = WeightScaler(1.0)
+        swv = swv_pair(
+            np.ones((4, 3)), np.zeros((6, 3)), np.zeros((6, 3)), scaler
+        )
+        assert swv.shape == (4, 6)
+
+    def test_positive_weight_uses_positive_array_theta(self):
+        scaler = WeightScaler(1.0)
+        w = np.array([[0.5]])
+        t_hot = np.array([[1.0]])
+        t_cold = np.array([[0.0]])
+        cost_hot_pos = swv_pair(w, t_hot, t_cold, scaler)[0, 0]
+        cost_cold_pos = swv_pair(w, t_cold, t_hot, scaler)[0, 0]
+        # The weight is positive: variation on the positive array
+        # dominates the cost.
+        assert cost_hot_pos > cost_cold_pos
+
+    def test_negative_weight_uses_negative_array_theta(self):
+        scaler = WeightScaler(1.0)
+        w = np.array([[-0.5]])
+        t_hot = np.array([[1.0]])
+        t_cold = np.array([[0.0]])
+        cost_hot_neg = swv_pair(w, t_cold, t_hot, scaler)[0, 0]
+        cost_cold_neg = swv_pair(w, t_hot, t_cold, scaler)[0, 0]
+        assert cost_hot_neg > cost_cold_neg
+
+    def test_baseline_term_present_for_zero_weights(self):
+        # Even a zero weight row pays for variation on its g_off
+        # baselines.
+        scaler = WeightScaler(1.0)
+        w = np.zeros((1, 2))
+        swv = swv_pair(w, np.full((1, 2), 0.5), np.full((1, 2), 0.5),
+                       scaler)
+        assert swv[0, 0] > 0
+
+    def test_mismatched_thetas_rejected(self):
+        scaler = WeightScaler(1.0)
+        with pytest.raises(ValueError, match="theta"):
+            swv_pair(np.ones((2, 3)), np.zeros((4, 3)), np.zeros((5, 3)),
+                     scaler)
+
+    def test_predicts_actual_weight_error(self, rng):
+        # SWV should rank placements consistently with the realised
+        # absolute weight error of the actual (normalised) programming
+        # flow -- including the conductance-rail clipping.
+        scaler = WeightScaler(1.0)
+        w = rng.uniform(-0.3, 0.3, (1, 8))
+        thetas_pos = rng.normal(0, 0.5, (20, 8))
+        thetas_neg = rng.normal(0, 0.5, (20, 8))
+        swv = swv_pair(w, thetas_pos, thetas_neg, scaler,
+                       magnitude_bins=32)[0]
+
+        # Mirror program_pair_open_loop: normalise to the full range.
+        w_norm = w * (scaler.w_max / np.abs(w).max())
+        g_pos, g_neg = scaler.weights_to_pair(w_norm)
+        actual = []
+        for q in range(20):
+            gp = np.clip(g_pos * np.exp(thetas_pos[q]),
+                         scaler.device.g_off, scaler.device.g_on)
+            gn = np.clip(g_neg * np.exp(thetas_neg[q]),
+                         scaler.device.g_off, scaler.device.g_on)
+            w_eff = scaler.pair_to_weights(gp, gn)
+            actual.append(np.sum(np.abs(w_eff - w_norm)))
+        corr = np.corrcoef(swv, actual)[0, 1]
+        assert corr > 0.8
+
+    def test_clip_aware_prefers_clipping_side(self):
+        # A +1.2-theta device on a near-full-scale weight clips at the
+        # rail (small realised error); a -1.2-theta device shrinks the
+        # weight freely (large error).  The plain Eq. 12 form gets this
+        # backwards; the clip-aware form must not.
+        scaler = WeightScaler(1.0)
+        w = np.array([[0.95]])
+        t_plus = np.array([[1.2]])
+        t_minus = np.array([[-1.2]])
+        zeros = np.array([[0.0]])
+        cost_plus = swv_pair(w, t_plus, zeros, scaler)[0, 0]
+        cost_minus = swv_pair(w, t_minus, zeros, scaler)[0, 0]
+        assert cost_plus < cost_minus
+        # The paper-exact form ranks the other way (documented).
+        plain_plus = swv_pair(w, t_plus, zeros, scaler,
+                              clip_aware=False)[0, 0]
+        plain_minus = swv_pair(w, t_minus, zeros, scaler,
+                               clip_aware=False)[0, 0]
+        assert plain_plus > plain_minus

@@ -1,0 +1,108 @@
+"""Tests for the VAT robust trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.self_tuning import injected_rate
+from repro.core.vat import VATConfig, train_vat
+from repro.nn.gdt import GDTConfig
+from repro.nn.objectives import variation_penalty
+
+
+class TestPenaltyScale:
+    def test_gamma_zero_gives_zero(self):
+        cfg = VATConfig(gamma=0.0, sigma=0.6)
+        assert cfg.penalty_scale(100) == 0.0
+
+    def test_sigma_zero_gives_zero(self):
+        cfg = VATConfig(gamma=0.5, sigma=0.0)
+        assert cfg.penalty_scale(100) == 0.0
+
+    def test_gaussian_bound_independent_of_n(self):
+        cfg = VATConfig(gamma=0.5, sigma=0.6, bound="gaussian")
+        assert cfg.penalty_scale(100) == pytest.approx(
+            cfg.penalty_scale(1000)
+        )
+
+    def test_chi2_bound_grows_with_n(self):
+        cfg = VATConfig(gamma=0.5, sigma=0.6, bound="chi2")
+        assert cfg.penalty_scale(400) > cfg.penalty_scale(100)
+
+    def test_chi2_exceeds_gaussian(self):
+        chi2 = VATConfig(gamma=0.5, sigma=0.6, bound="chi2")
+        gauss = VATConfig(gamma=0.5, sigma=0.6, bound="gaussian")
+        assert chi2.penalty_scale(100) > gauss.penalty_scale(100)
+
+    def test_unknown_bound_rejected(self):
+        cfg = VATConfig(bound="bogus")
+        with pytest.raises(ValueError, match="bound"):
+            cfg.penalty_scale(10)
+
+    def test_negative_gamma_rejected(self):
+        cfg = VATConfig(gamma=-0.1)
+        with pytest.raises(ValueError, match="gamma"):
+            cfg.penalty_scale(10)
+
+    def test_linear_in_gamma_and_alpha1(self):
+        base = VATConfig(gamma=0.2, sigma=0.5).penalty_scale(50)
+        doubled = VATConfig(gamma=0.4, sigma=0.5).penalty_scale(50)
+        alpha = VATConfig(gamma=0.2, sigma=0.5, alpha1=2.0).penalty_scale(50)
+        assert doubled == pytest.approx(2 * base)
+        assert alpha == pytest.approx(2 * base)
+
+
+class TestTrainVAT:
+    def test_gamma_zero_matches_plain_gdt(self, tiny_dataset):
+        ds = tiny_dataset
+        gdt = GDTConfig(epochs=60)
+        a = train_vat(ds.x_train, ds.y_train, 10,
+                      VATConfig(gamma=0.0, sigma=0.6, gdt=gdt))
+        b = train_vat(ds.x_train, ds.y_train, 10,
+                      VATConfig(gamma=0.0, sigma=0.0, gdt=gdt))
+        assert np.allclose(a.weights, b.weights)
+
+    def test_outcome_fields(self, tiny_dataset):
+        ds = tiny_dataset
+        outcome = train_vat(
+            ds.x_train, ds.y_train, 10,
+            VATConfig(gamma=0.3, sigma=0.6, gdt=GDTConfig(epochs=40)),
+        )
+        assert outcome.weights.shape == (ds.n_features, 10)
+        assert 0.0 <= outcome.training_rate <= 1.0
+        assert outcome.diagnostics["gamma"] == 0.3
+        assert outcome.diagnostics["penalty_scale"] > 0
+
+    def test_penalty_reduces_coherence(self, tiny_dataset):
+        # VAT's whole point: lower ||x (.) w||_2 relative to margin.
+        ds = tiny_dataset
+        gdt = GDTConfig(epochs=100)
+        plain = train_vat(ds.x_train, ds.y_train, 10,
+                          VATConfig(gamma=0.0, sigma=0.6, gdt=gdt))
+        robust = train_vat(ds.x_train, ds.y_train, 10,
+                           VATConfig(gamma=0.8, sigma=0.6, gdt=gdt))
+
+        def coherence(w):
+            pen = variation_penalty(ds.x_train, w)
+            margin = np.abs(ds.x_train @ w)
+            return float(np.mean(pen / (margin + 1e-9)))
+
+        assert coherence(robust.weights) < coherence(plain.weights)
+
+    def test_robust_weights_tolerate_injection_better(self, tiny_dataset):
+        ds = tiny_dataset
+        gdt = GDTConfig(epochs=100)
+        sigma = 0.8
+        plain = train_vat(ds.x_train, ds.y_train, 10,
+                          VATConfig(gamma=0.0, sigma=sigma, gdt=gdt))
+        robust = train_vat(ds.x_train, ds.y_train, 10,
+                           VATConfig(gamma=0.5, sigma=sigma, gdt=gdt))
+        rng = np.random.default_rng(0)
+        thetas = rng.standard_normal((12,) + plain.weights.shape)
+        r_plain = injected_rate(plain.weights, ds.x_test, ds.y_test,
+                                sigma, 12, rng, thetas=thetas)
+        r_robust = injected_rate(robust.weights, ds.x_test, ds.y_test,
+                                 sigma, 12, rng, thetas=thetas)
+        # Injected rate must not degrade; typically it improves.
+        assert r_robust >= r_plain - 0.01

@@ -1,0 +1,128 @@
+"""End-to-end tests for the integrated Vortex pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import OLDConfig, program_pair_open_loop, train_old
+from repro.core.self_tuning import SelfTuningConfig
+from repro.core.vortex import VortexConfig, run_vortex
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def make_spec(rows, sigma):
+    return HardwareSpec(
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.02),
+        crossbar=CrossbarConfig(rows=rows, cols=10, r_wire=0.0),
+    )
+
+
+def quick_vortex_cfg(integrate=False):
+    return VortexConfig(
+        self_tuning=SelfTuningConfig(
+            gammas=(0.0, 0.3, 0.6),
+            n_injections=4,
+            gdt=GDTConfig(epochs=60),
+        ),
+        integrate=integrate,
+    )
+
+
+class TestRunVortex:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tiny_dataset):
+        ds = tiny_dataset
+        spec = make_spec(ds.n_features + 8, sigma=0.6)
+        rng = np.random.default_rng(21)
+        pair = build_pair(spec, WeightScaler(1.0), rng)
+        result = run_vortex(
+            pair, ds.x_train, ds.y_train, 10, quick_vortex_cfg(), rng
+        )
+        return pair, result
+
+    def test_result_fields(self, pipeline, tiny_dataset):
+        _, result = pipeline
+        ds = tiny_dataset
+        assert result.weights.shape == (ds.n_features, 10)
+        assert result.gamma in (0.0, 0.3, 0.6)
+        assert result.sigma_pretest > 0.3
+        assert 0.0 < result.sigma_effective <= result.sigma_pretest + 0.05
+        assert result.amp is not None
+        assert 0.0 <= result.training_rate <= 1.0
+
+    def test_pair_left_programmed(self, pipeline, tiny_dataset):
+        pair, result = pipeline
+        ds = tiny_dataset
+        rate = result.test_rate(pair, ds.x_test, ds.y_test)
+        assert rate > 0.4
+
+    def test_mapping_consistency(self, pipeline):
+        _, result = pipeline
+        assignment = result.mapping.assignment
+        assert len(set(assignment.tolist())) == assignment.size
+
+    def test_amp_reduces_effective_sigma(self, pipeline):
+        _, result = pipeline
+        assert result.sigma_effective < result.sigma_pretest
+
+    def test_too_many_features_rejected(self, tiny_dataset):
+        ds = tiny_dataset
+        spec = make_spec(ds.n_features - 1, sigma=0.3)
+        rng = np.random.default_rng(0)
+        pair = build_pair(spec, WeightScaler(1.0), rng)
+        with pytest.raises(ValueError, match="exceed"):
+            run_vortex(pair, ds.x_train, ds.y_train, 10,
+                       quick_vortex_cfg(), rng)
+
+
+class TestVortexWithoutAMP:
+    def test_identity_mapping_used(self, tiny_dataset):
+        ds = tiny_dataset
+        spec = make_spec(ds.n_features, sigma=0.4)
+        rng = np.random.default_rng(3)
+        pair = build_pair(spec, WeightScaler(1.0), rng)
+        cfg = VortexConfig(
+            self_tuning=SelfTuningConfig(
+                gammas=(0.0, 0.4), n_injections=3, gdt=GDTConfig(epochs=40)
+            ),
+            use_amp=False,
+        )
+        result = run_vortex(pair, ds.x_train, ds.y_train, 10, cfg, rng)
+        assert result.amp is None
+        assert np.array_equal(
+            result.mapping.assignment, np.arange(ds.n_features)
+        )
+        assert result.sigma_effective == result.sigma_pretest
+
+
+class TestVortexBeatsOLD:
+    def test_headline_comparison(self, tiny_dataset):
+        # The paper's central claim at high variation: Vortex's test
+        # rate exceeds conventional OLD's.
+        ds = tiny_dataset
+        sigma = 0.8
+        old_weights = train_old(
+            ds.x_train, ds.y_train, 10, OLDConfig(gdt=GDTConfig(epochs=60))
+        ).weights
+        vortex_rates, old_rates = [], []
+        for seed in range(3):
+            rng = np.random.default_rng(100 + seed)
+            spec = make_spec(ds.n_features + 8, sigma)
+            pair = build_pair(spec, WeightScaler(1.0), rng)
+            result = run_vortex(
+                pair, ds.x_train, ds.y_train, 10, quick_vortex_cfg(), rng
+            )
+            vortex_rates.append(
+                result.test_rate(pair, ds.x_test, ds.y_test)
+            )
+            spec0 = make_spec(ds.n_features, sigma)
+            pair0 = build_pair(spec0, WeightScaler(1.0), rng)
+            program_pair_open_loop(pair0, old_weights)
+            old_rates.append(
+                hardware_test_rate(pair0, ds.x_test, ds.y_test, "ideal")
+            )
+        assert np.mean(vortex_rates) > np.mean(old_rates)

@@ -1,0 +1,111 @@
+"""Tests for write-verify programming."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import OLDConfig, program_pair_open_loop, train_old
+from repro.core.write_verify import (
+    WriteVerifyConfig,
+    program_pair_write_verify,
+)
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def make_pair(rows, sigma, seed=0, defect_rate=0.0):
+    spec = HardwareSpec(
+        variation=VariationConfig(
+            sigma=sigma, sigma_cycle=0.01, defect_rate=defect_rate
+        ),
+        crossbar=CrossbarConfig(rows=rows, cols=10, r_wire=0.0),
+        quantize_read=False,
+    )
+    return build_pair(spec, WeightScaler(1.0), np.random.default_rng(seed))
+
+
+class TestWriteVerify:
+    def test_converges_on_ideal_devices(self, rng):
+        pair = make_pair(16, sigma=0.0)
+        w = rng.uniform(-1, 1, (16, 10))
+        stats = program_pair_write_verify(pair, w)
+        assert stats.unconverged == 0
+        assert np.allclose(pair.effective_weights(), w, atol=0.05)
+
+    def test_corrects_parametric_variation(self, rng):
+        pair = make_pair(16, sigma=0.6, seed=3)
+        w = rng.uniform(-1, 1, (16, 10))
+        stats = program_pair_write_verify(pair, w)
+        realised = pair.effective_weights()
+        # The verify loop trims most of the lognormal error away.
+        assert np.mean(np.abs(realised - w)) < 0.05
+        assert stats.total_pulses > 2 * 16 * 10  # needed extra trims
+
+    def test_open_loop_needs_fewer_pulses_but_lands_worse(self, rng):
+        w = rng.uniform(-1, 1, (16, 10))
+        pair_wv = make_pair(16, sigma=0.6, seed=4)
+        stats = program_pair_write_verify(pair_wv, w)
+        pair_ol = make_pair(16, sigma=0.6, seed=4)
+        program_pair_open_loop(pair_ol, w)
+        err_wv = np.mean(np.abs(pair_wv.effective_weights() - w))
+        err_ol = np.mean(np.abs(pair_ol.effective_weights() - w))
+        assert err_wv < err_ol / 3
+        assert stats.total_pulses > 2 * 16 * 10
+
+    def test_tolerance_bounds_pulse_count(self, rng):
+        w = rng.uniform(-1, 1, (16, 10))
+        tight = program_pair_write_verify(
+            make_pair(16, sigma=0.6, seed=5), w,
+            WriteVerifyConfig(tolerance=0.005),
+        )
+        loose = program_pair_write_verify(
+            make_pair(16, sigma=0.6, seed=5), w,
+            WriteVerifyConfig(tolerance=0.05),
+        )
+        assert tight.total_pulses >= loose.total_pulses
+
+    def test_stuck_cells_reported_not_retried_forever(self, rng):
+        pair = make_pair(16, sigma=0.2, seed=6, defect_rate=0.2)
+        w = rng.uniform(-1, 1, (16, 10))
+        stats = program_pair_write_verify(pair, w)
+        # Stuck cells are excluded from the pending set, so the pulse
+        # budget is not exhausted on them.
+        assert stats.max_pulses <= WriteVerifyConfig().max_iterations + 1
+
+    def test_invalid_config_rejected(self, rng):
+        pair = make_pair(4, sigma=0.0)
+        w = rng.uniform(-1, 1, (4, 10))
+        with pytest.raises(ValueError, match="tolerance"):
+            program_pair_write_verify(
+                pair, w, WriteVerifyConfig(tolerance=0.0)
+            )
+
+    def test_shape_mismatch_rejected(self, rng):
+        pair = make_pair(4, sigma=0.0)
+        with pytest.raises(ValueError, match="shape"):
+            program_pair_write_verify(pair, np.ones((5, 10)))
+
+
+class TestWriteVerifyAccuracy:
+    def test_recovers_classifier_accuracy(self, tiny_dataset):
+        ds = tiny_dataset
+        w = train_old(
+            ds.x_train, ds.y_train, 10, OLDConfig(gdt=GDTConfig(epochs=60))
+        ).weights
+        sigma = 0.8
+        wv_rates, ol_rates = [], []
+        for seed in range(3):
+            pair = make_pair(ds.n_features, sigma, seed=seed)
+            program_pair_write_verify(pair, w)
+            wv_rates.append(
+                hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+            )
+            pair = make_pair(ds.n_features, sigma, seed=seed)
+            program_pair_open_loop(pair, w)
+            ol_rates.append(
+                hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+            )
+        assert np.mean(wv_rates) > np.mean(ol_rates) + 0.03

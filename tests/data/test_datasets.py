@@ -1,0 +1,79 @@
+"""Tests for benchmark dataset assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_dataset
+
+
+class TestMakeDataset:
+    def test_shapes(self, tiny_dataset):
+        ds = tiny_dataset
+        assert ds.x_train.shape == (300, 49)
+        assert ds.x_test.shape == (150, 49)
+        assert ds.y_train.shape == (300,)
+        assert ds.image_size == 7
+
+    def test_feature_range(self, tiny_dataset):
+        assert tiny_dataset.x_train.min() >= 0.0
+        assert tiny_dataset.x_train.max() <= 1.0
+
+    def test_labels_balanced(self):
+        ds = make_dataset(n_train=100, n_test=50, seed=3)
+        counts = np.bincount(ds.y_train, minlength=10)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic_by_seed(self):
+        a = make_dataset(n_train=30, n_test=10, seed=5)
+        b = make_dataset(n_train=30, n_test=10, seed=5)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_test, b.y_test)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset(n_train=30, n_test=10, seed=5)
+        b = make_dataset(n_train=30, n_test=10, seed=6)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_bias_feature(self):
+        ds = make_dataset(n_train=20, n_test=10, seed=1, with_bias=True)
+        assert ds.x_train.shape[1] == 28 * 28 + 1
+        assert np.all(ds.x_train[:, -1] == 1.0)
+
+    def test_no_bias_matches_crossbar_rows(self):
+        ds = make_dataset(n_train=20, n_test=10, seed=1)
+        assert ds.x_train.shape[1] == 784
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_dataset(n_train=0, n_test=10)
+
+
+class TestUndersampled:
+    def test_feature_count(self):
+        ds = make_dataset(n_train=20, n_test=10, seed=2)
+        small = ds.undersampled(14)
+        assert small.x_train.shape == (20, 196)
+        assert small.image_size == 14
+
+    def test_labels_preserved(self):
+        ds = make_dataset(n_train=20, n_test=10, seed=2)
+        small = ds.undersampled(7)
+        assert np.array_equal(small.y_train, ds.y_train)
+
+    def test_bias_preserved(self):
+        ds = make_dataset(n_train=20, n_test=10, seed=2, with_bias=True)
+        small = ds.undersampled(14)
+        assert small.x_train.shape[1] == 197
+        assert np.all(small.x_train[:, -1] == 1.0)
+
+    def test_undersampling_keeps_classes_separable_enough(self, tiny_dataset):
+        # Even at 7x7, nearest-centroid should beat chance by far.
+        ds = tiny_dataset
+        centroids = np.stack(
+            [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)]
+        )
+        d = ((ds.x_test[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        acc = np.mean(np.argmin(d, axis=1) == ds.y_test)
+        assert acc > 0.5

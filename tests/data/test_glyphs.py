@@ -1,0 +1,53 @@
+"""Tests for the digit glyph prototypes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.glyphs import GLYPH_COLS, GLYPH_ROWS, GLYPHS, glyph_bitmaps
+
+
+class TestGlyphs:
+    def test_all_ten_digits_present(self):
+        assert set(GLYPHS.keys()) == set(range(10))
+
+    def test_every_digit_has_multiple_variants(self):
+        bitmaps = glyph_bitmaps()
+        for digit, variants in bitmaps.items():
+            assert len(variants) >= 2, f"digit {digit}"
+
+    def test_shapes(self):
+        for variants in glyph_bitmaps().values():
+            for bitmap in variants:
+                assert bitmap.shape == (GLYPH_ROWS, GLYPH_COLS)
+
+    def test_binary_values(self):
+        for variants in glyph_bitmaps().values():
+            for bitmap in variants:
+                assert set(np.unique(bitmap)) <= {0.0, 1.0}
+
+    def test_reasonable_ink_coverage(self):
+        for digit, variants in glyph_bitmaps().items():
+            for bitmap in variants:
+                coverage = bitmap.mean()
+                assert 0.05 < coverage < 0.6, f"digit {digit}"
+
+    def test_prototypes_pairwise_distinct(self):
+        bitmaps = glyph_bitmaps()
+        flat = {
+            (d, i): b.ravel()
+            for d, variants in bitmaps.items()
+            for i, b in enumerate(variants)
+        }
+        keys = list(flat)
+        for a in range(len(keys)):
+            for b in range(a + 1, len(keys)):
+                diff = np.mean(flat[keys[a]] != flat[keys[b]])
+                assert diff > 0.02, f"{keys[a]} vs {keys[b]}"
+
+    def test_different_digits_differ_substantially(self):
+        bitmaps = glyph_bitmaps()
+        for d1 in range(10):
+            for d2 in range(d1 + 1, 10):
+                diff = np.mean(bitmaps[d1][0] != bitmaps[d2][0])
+                assert diff > 0.08, f"{d1} vs {d2}"

@@ -1,0 +1,68 @@
+"""Tests for the synthetic digit renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.mnist_like import IMAGE_SIZE, DigitRenderer, RenderParams
+
+
+class TestRenderer:
+    def test_image_shape_and_range(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(0))
+        img = renderer.render(5)
+        assert img.shape == (IMAGE_SIZE, IMAGE_SIZE)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_images_have_ink(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(1))
+        for digit in range(10):
+            assert renderer.render(digit).sum() > 5.0
+
+    def test_invalid_digit_rejected(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="digit"):
+            renderer.render(10)
+
+    def test_deterministic_given_seed(self):
+        a = DigitRenderer(rng=np.random.default_rng(7)).render(3)
+        b = DigitRenderer(rng=np.random.default_rng(7)).render(3)
+        assert np.array_equal(a, b)
+
+    def test_variation_between_samples(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(2))
+        a = renderer.render(3)
+        b = renderer.render(3)
+        assert not np.array_equal(a, b)
+
+    def test_batch_flattened(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(3))
+        batch = renderer.render_batch(np.array([0, 1, 2]))
+        assert batch.shape == (3, IMAGE_SIZE * IMAGE_SIZE)
+
+    def test_batch_unflattened(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(3))
+        batch = renderer.render_batch(np.array([0, 1]), flatten=False)
+        assert batch.shape == (2, IMAGE_SIZE, IMAGE_SIZE)
+
+    def test_no_noise_params_give_clean_images(self):
+        params = RenderParams(noise_std=0.0, occlusion_prob=0.0,
+                              blur_sigma=0.0)
+        renderer = DigitRenderer(params, np.random.default_rng(4))
+        img = renderer.render(1)
+        # Without blur/noise the background stays exactly zero.
+        assert np.sum(img == 0.0) > img.size / 2
+
+    def test_same_digit_correlates_more_than_different(self):
+        renderer = DigitRenderer(rng=np.random.default_rng(5))
+        same = [renderer.render(0).ravel() for _ in range(6)]
+        other = [renderer.render(1).ravel() for _ in range(6)]
+        within = np.mean(
+            [np.corrcoef(same[i], same[j])[0, 1]
+             for i in range(6) for j in range(i + 1, 6)]
+        )
+        across = np.mean(
+            [np.corrcoef(s, o)[0, 1] for s in same for o in other]
+        )
+        assert within > across

@@ -1,0 +1,89 @@
+"""Tests for stuck-at defect modelling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig
+from repro.devices.defects import (
+    HEALTHY,
+    STUCK_AT_HRS,
+    STUCK_AT_LRS,
+    apply_defects_to_conductance,
+    count_defects,
+    defect_theta,
+)
+
+
+@pytest.fixture
+def device() -> DeviceConfig:
+    return DeviceConfig()
+
+
+class TestDefectTheta:
+    def test_healthy_cells_get_zero(self, device):
+        defects = np.zeros((3, 3), dtype=int)
+        targets = np.full((3, 3), 1e-5)
+        assert np.all(defect_theta(defects, targets, device) == 0.0)
+
+    def test_stuck_lrs_theta_reproduces_g_on(self, device):
+        defects = np.array([[STUCK_AT_LRS]])
+        targets = np.array([[1e-5]])
+        theta = defect_theta(defects, targets, device)
+        assert targets[0, 0] * np.exp(theta[0, 0]) == pytest.approx(
+            device.g_on
+        )
+
+    def test_stuck_hrs_theta_reproduces_g_off(self, device):
+        defects = np.array([[STUCK_AT_HRS]])
+        targets = np.array([[1e-5]])
+        theta = defect_theta(defects, targets, device)
+        assert targets[0, 0] * np.exp(theta[0, 0]) == pytest.approx(
+            device.g_off
+        )
+
+    def test_shape_mismatch_raises(self, device):
+        with pytest.raises(ValueError, match="shape"):
+            defect_theta(np.zeros((2, 2), dtype=int), np.ones((3, 3)), device)
+
+    def test_nonpositive_target_raises(self, device):
+        with pytest.raises(ValueError, match="positive"):
+            defect_theta(
+                np.zeros((1, 1), dtype=int), np.zeros((1, 1)), device
+            )
+
+
+class TestApplyDefects:
+    def test_overwrites_only_defective_cells(self, device):
+        g = np.full((2, 2), 5e-5)
+        defects = np.array([[HEALTHY, STUCK_AT_LRS],
+                            [STUCK_AT_HRS, HEALTHY]])
+        out = apply_defects_to_conductance(g, defects, device)
+        assert out[0, 0] == 5e-5
+        assert out[0, 1] == device.g_on
+        assert out[1, 0] == device.g_off
+        assert out[1, 1] == 5e-5
+
+    def test_input_not_mutated(self, device):
+        g = np.full((2, 2), 5e-5)
+        defects = np.full((2, 2), STUCK_AT_LRS)
+        apply_defects_to_conductance(g, defects, device)
+        assert np.all(g == 5e-5)
+
+    def test_shape_mismatch_raises(self, device):
+        with pytest.raises(ValueError, match="shape"):
+            apply_defects_to_conductance(
+                np.ones((2, 3)), np.zeros((2, 2), dtype=int), device
+            )
+
+
+class TestCountDefects:
+    def test_counts(self):
+        defects = np.array([[0, 1, -1], [0, 0, 1]])
+        counts = count_defects(defects)
+        assert counts == {
+            "healthy": 3,
+            "stuck_at_lrs": 2,
+            "stuck_at_hrs": 1,
+        }

@@ -1,0 +1,132 @@
+"""Tests for the fabricated memristor array."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig, VariationConfig
+from repro.devices.memristor import MemristorArray
+
+
+def make_array(sigma=0.0, sigma_cycle=0.0, defect_rate=0.0, seed=0,
+               shape=(8, 4)):
+    return MemristorArray(
+        shape,
+        device=DeviceConfig(),
+        variation=VariationConfig(
+            sigma=sigma, sigma_cycle=sigma_cycle, defect_rate=defect_rate
+        ),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestConstruction:
+    def test_starts_at_hrs(self):
+        array = make_array()
+        assert np.allclose(array.conductance, array.device.g_off)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            MemristorArray((0, 4))
+
+    def test_theta_fixed_at_fabrication(self):
+        array = make_array(sigma=0.5)
+        theta_before = array.theta.copy()
+        array.program_conductance(np.full((8, 4), 1e-5))
+        assert np.array_equal(array.theta, theta_before)
+
+    def test_describe(self):
+        array = make_array(sigma=0.5)
+        d = array.describe()
+        assert d["rows"] == 8 and d["cols"] == 4
+        assert d["theta_std"] > 0
+
+
+class TestOpenLoopProgramming:
+    def test_ideal_array_lands_on_target(self):
+        array = make_array()
+        target = np.full((8, 4), 2e-5)
+        achieved = array.program_conductance(target)
+        assert np.allclose(achieved, target)
+
+    def test_variation_multiplies_target(self):
+        array = make_array(sigma=0.5, seed=3)
+        target = np.full((8, 4), 1e-5)
+        achieved = array.program_conductance(target, with_cycle_noise=False)
+        expected = np.clip(
+            target * np.exp(array.theta),
+            array.device.g_off,
+            array.device.g_on,
+        )
+        assert np.allclose(achieved, expected)
+
+    def test_result_clipped_to_physical_range(self):
+        array = make_array(sigma=2.0, seed=5)
+        target = np.full((8, 4), 5e-5)
+        achieved = array.program_conductance(target)
+        assert np.all(achieved >= array.device.g_off - 1e-15)
+        assert np.all(achieved <= array.device.g_on + 1e-15)
+
+    def test_out_of_range_target_rejected(self):
+        array = make_array()
+        with pytest.raises(ValueError, match="g_off"):
+            array.program_conductance(np.full((8, 4), 1.0))
+
+    def test_shape_mismatch_rejected(self):
+        array = make_array()
+        with pytest.raises(ValueError, match="shape"):
+            array.program_conductance(np.full((2, 2), 1e-5))
+
+    def test_cycle_noise_varies_between_programmings(self):
+        array = make_array(sigma_cycle=0.05)
+        target = np.full((8, 4), 1e-5)
+        a = array.program_conductance(target).copy()
+        b = array.program_conductance(target)
+        assert not np.allclose(a, b)
+
+
+class TestCloseLoopUpdates:
+    def test_update_moves_conductance(self):
+        array = make_array()
+        g0 = array.conductance.copy()
+        array.update_conductance(np.full((8, 4), 1e-6))
+        assert np.all(array.conductance > g0)
+
+    def test_efficiency_scales_update(self):
+        a1 = make_array()
+        a2 = make_array()
+        delta = np.full((8, 4), 1e-6)
+        g1 = a1.update_conductance(delta, efficiency=1.0)
+        g2 = a2.update_conductance(delta, efficiency=0.5)
+        moved1 = g1 - a1.device.g_off
+        moved2 = g2 - a2.device.g_off
+        assert np.allclose(moved2, 0.5 * moved1)
+
+    def test_update_respects_rails(self):
+        array = make_array()
+        array.update_conductance(np.full((8, 4), 1.0))
+        assert np.allclose(array.conductance, array.device.g_on)
+        array.update_conductance(np.full((8, 4), -1.0))
+        assert np.allclose(array.conductance, array.device.g_off)
+
+    def test_stuck_cells_ignore_updates(self):
+        array = make_array(defect_rate=0.5, seed=2)
+        stuck = array.is_stuck()
+        assert np.any(stuck)
+        g_before = array.conductance.copy()
+        array.update_conductance(np.full((8, 4), 1e-5))
+        assert np.allclose(array.conductance[stuck], g_before[stuck])
+
+    def test_update_shape_mismatch_rejected(self):
+        array = make_array()
+        with pytest.raises(ValueError, match="shape"):
+            array.update_conductance(np.zeros((3, 3)))
+
+
+class TestReset:
+    def test_reset_to_hrs(self):
+        array = make_array()
+        array.program_conductance(np.full((8, 4), 5e-5))
+        array.reset_to_hrs()
+        assert np.allclose(array.conductance, array.device.g_off)

@@ -1,0 +1,143 @@
+"""Tests for retention drift."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.old import OLDConfig, program_pair_open_loop, train_old
+from repro.devices.memristor import MemristorArray
+from repro.devices.retention import (
+    RetentionConfig,
+    age_array,
+    age_pair,
+    drift_factor,
+    equivalent_sigma_at,
+    sample_drift_exponents,
+)
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def make_array(seed=0):
+    return MemristorArray(
+        (8, 4),
+        variation=VariationConfig(sigma=0.0, sigma_cycle=0.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestDriftFactor:
+    def test_no_time_no_drift(self):
+        assert drift_factor(0.05, 0.0, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_decay(self):
+        f = [float(drift_factor(0.05, t, 1.0)) for t in (1, 10, 100)]
+        assert f[0] > f[1] > f[2]
+
+    def test_zero_exponent_is_stable(self):
+        assert drift_factor(0.0, 1e6, 1.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="elapsed"):
+            drift_factor(0.05, -1.0, 1.0)
+        with pytest.raises(ValueError, match="t0"):
+            drift_factor(0.05, 1.0, 0.0)
+
+
+class TestSampleExponents:
+    def test_positive_and_median(self, rng):
+        cfg = RetentionConfig(nu_median=0.02, nu_sigma=0.5)
+        nu = sample_drift_exponents(cfg, (20000,), rng)
+        assert np.all(nu > 0)
+        assert np.median(nu) == pytest.approx(0.02, rel=0.05)
+
+    def test_zero_median_gives_zero(self, rng):
+        cfg = RetentionConfig(nu_median=0.0)
+        assert np.all(sample_drift_exponents(cfg, (10,), rng) == 0.0)
+
+
+class TestAgeArray:
+    def test_drift_moves_toward_hrs(self):
+        array = make_array()
+        target = np.full((8, 4), 5e-5)
+        array.program_conductance(target)
+        g0 = array.conductance.copy()
+        age_array(array, 1e4, RetentionConfig(),
+                  np.random.default_rng(1))
+        assert np.all(array.conductance <= g0 + 1e-15)
+        assert np.any(array.conductance < g0)
+
+    def test_aging_is_consistent_across_steps(self):
+        cfg = RetentionConfig()
+        a1 = make_array(seed=2)
+        a2 = make_array(seed=2)
+        target = np.full((8, 4), 5e-5)
+        a1.program_conductance(target)
+        a2.program_conductance(target)
+        rng = np.random.default_rng(3)
+        age_array(a1, 100.0, cfg, np.random.default_rng(3))
+        age_array(a1, 100.0, cfg)
+        age_array(a2, 200.0, cfg, rng)
+        assert np.allclose(a1.conductance, a2.conductance, rtol=1e-9)
+
+    def test_never_below_g_off(self):
+        array = make_array()
+        array.program_conductance(np.full((8, 4), 2e-6))
+        age_array(array, 1e9, RetentionConfig(nu_median=0.5),
+                  np.random.default_rng(4))
+        assert np.all(array.conductance >= array.device.g_off - 1e-18)
+
+
+class TestEquivalentSigma:
+    def test_grows_with_time(self):
+        cfg = RetentionConfig()
+        s1 = equivalent_sigma_at(cfg, 1e2)
+        s2 = equivalent_sigma_at(cfg, 1e6)
+        assert 0 < s1 < s2
+
+
+class TestDriftDegradesClassifier:
+    def test_test_rate_decays_with_idle_time(self, tiny_dataset):
+        ds = tiny_dataset
+        w = train_old(
+            ds.x_train, ds.y_train, 10, OLDConfig(gdt=GDTConfig(epochs=60))
+        ).weights
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=0.2, sigma_cycle=0.0),
+            crossbar=CrossbarConfig(rows=ds.n_features, cols=10,
+                                    r_wire=0.0),
+            quantize_read=False,
+        )
+        cfg = RetentionConfig(nu_median=0.05, nu_sigma=0.8)
+        pair = build_pair(spec, WeightScaler(1.0),
+                          np.random.default_rng(5))
+        program_pair_open_loop(pair, w)
+        fresh = hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+        age_pair(pair, 1e7, cfg, np.random.default_rng(6))
+        aged = hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+        assert aged < fresh
+
+    def test_refresh_restores_accuracy(self, tiny_dataset):
+        ds = tiny_dataset
+        w = train_old(
+            ds.x_train, ds.y_train, 10, OLDConfig(gdt=GDTConfig(epochs=60))
+        ).weights
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=0.2, sigma_cycle=0.0),
+            crossbar=CrossbarConfig(rows=ds.n_features, cols=10,
+                                    r_wire=0.0),
+            quantize_read=False,
+        )
+        cfg = RetentionConfig(nu_median=0.05, nu_sigma=0.8)
+        pair = build_pair(spec, WeightScaler(1.0),
+                          np.random.default_rng(7))
+        program_pair_open_loop(pair, w)
+        fresh = hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+        age_pair(pair, 1e7, cfg, np.random.default_rng(8))
+        program_pair_open_loop(pair, w)  # refresh
+        refreshed = hardware_test_rate(pair, ds.x_test, ds.y_test,
+                                       "ideal")
+        assert refreshed >= fresh - 0.05

@@ -1,0 +1,153 @@
+"""Tests for the memristor switching-dynamics model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DeviceConfig
+from repro.devices.switching import SwitchingModel, switching_rate
+
+
+@pytest.fixture
+def model() -> SwitchingModel:
+    return SwitchingModel()
+
+
+class TestCalibrationAnchors:
+    """The model reproduces the paper's Fig. 1(a) anchor points."""
+
+    def test_reset_at_2v9_lands_near_900k(self, model):
+        s = model.apply_pulse(1.0, 2.9, 0.5e-6, "reset")
+        r = float(model.resistance_of(s))
+        assert 0.8e6 < r < 1.0e6
+
+    def test_reset_at_2v8_lands_near_400k(self, model):
+        s = model.apply_pulse(1.0, 2.8, 0.5e-6, "reset")
+        r = float(model.resistance_of(s))
+        assert 0.35e6 < r < 0.47e6
+
+    def test_half_select_disturb_is_negligible(self, model):
+        disturb = model.half_select_disturb(0.5e-6)
+        assert disturb < 0.01
+
+    def test_half_select_disturb_set_polarity(self, model):
+        assert model.half_select_disturb(0.5e-6, "set") < 0.01
+
+
+class TestRate:
+    def test_rate_increases_with_voltage(self, model):
+        rates = model.rate(np.array([1.0, 2.0, 3.0]), "set")
+        assert np.all(np.diff(rates) > 0)
+
+    def test_rate_exponential_regime(self, model):
+        # In the exp regime, +v0 of voltage multiplies the rate by ~e.
+        d = model.device
+        r1 = float(model.rate(2.5, "set"))
+        r2 = float(model.rate(2.5 + d.v0_set, "set"))
+        assert r2 / r1 == pytest.approx(np.e, rel=0.01)
+
+    def test_rate_rejects_bad_polarity(self, model):
+        with pytest.raises(ValueError, match="polarity"):
+            model.rate(1.0, "sideways")
+
+    def test_switching_rate_function(self):
+        assert switching_rate(0.0, 10.0, 0.2) == 0.0
+        assert switching_rate(1.0, 10.0, 0.2) > 0
+
+
+class TestStateConversions:
+    def test_endpoints(self, model):
+        d = model.device
+        assert model.conductance_of(0.0) == pytest.approx(d.g_off)
+        assert model.conductance_of(1.0) == pytest.approx(d.g_on)
+
+    def test_state_of_clips(self, model):
+        d = model.device
+        assert model.state_of(d.g_off / 2) == 0.0
+        assert model.state_of(d.g_on * 2) == 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip(self, s):
+        model = SwitchingModel()
+        g = model.conductance_of(s)
+        assert model.state_of(g) == pytest.approx(s, abs=1e-9)
+
+
+class TestApplyPulse:
+    def test_set_moves_toward_one(self, model):
+        s = model.apply_pulse(0.2, 2.9, 1e-7, "set")
+        assert s > 0.2
+
+    def test_reset_moves_toward_zero(self, model):
+        s = model.apply_pulse(0.8, 2.9, 1e-7, "reset")
+        assert s < 0.8
+
+    def test_zero_width_is_identity(self, model):
+        assert model.apply_pulse(0.5, 2.9, 0.0, "set") == pytest.approx(0.5)
+
+    def test_long_pulse_saturates(self, model):
+        assert model.apply_pulse(0.5, 2.9, 1.0, "set") == pytest.approx(1.0)
+        assert model.apply_pulse(0.5, 2.9, 1.0, "reset") == pytest.approx(0.0)
+
+    def test_vectorised(self, model):
+        states = np.array([0.1, 0.5, 0.9])
+        out = model.apply_pulse(states, 2.9, 1e-7, "set")
+        assert out.shape == (3,)
+        assert np.all(out > states)
+
+
+class TestPulseWidthInversion:
+    @given(
+        s0=st.floats(min_value=0.0, max_value=0.89),
+        frac=st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_set_roundtrip(self, s0, frac):
+        model = SwitchingModel()
+        s_target = s0 + frac * (1.0 - s0 - 0.01)
+        width = model.pulse_width_for(s0, s_target, 2.9, "set")
+        achieved = model.apply_pulse(s0, 2.9, width, "set")
+        assert achieved == pytest.approx(s_target, abs=1e-9)
+
+    def test_reset_roundtrip(self, model):
+        width = model.pulse_width_for(0.9, 0.3, 2.9, "reset")
+        achieved = model.apply_pulse(0.9, 2.9, width, "reset")
+        assert achieved == pytest.approx(0.3, abs=1e-12)
+
+    def test_wrong_polarity_raises(self, model):
+        with pytest.raises(ValueError, match="polarity"):
+            model.pulse_width_for(0.2, 0.8, 2.9, "reset")
+
+    def test_rail_target_raises(self, model):
+        with pytest.raises(ValueError, match="rail"):
+            model.pulse_width_for(0.5, 1.0, 2.9, "set")
+
+    def test_no_move_gives_zero_width(self, model):
+        assert model.pulse_width_for(0.4, 0.4, 2.9, "set") == 0.0
+
+    def test_lower_voltage_needs_longer_pulse(self, model):
+        w_hi = model.pulse_width_for(0.2, 0.6, 2.9, "set")
+        w_lo = model.pulse_width_for(0.2, 0.6, 2.5, "set")
+        assert w_lo > w_hi
+
+
+class TestNonlinearityFactor:
+    def test_full_voltage_is_unity(self, model):
+        d = model.device
+        assert model.nonlinearity_factor(d.v_set, "set") == pytest.approx(1.0)
+
+    def test_degraded_voltage_slows_switching_severely(self, model):
+        d = model.device
+        factor = float(model.nonlinearity_factor(d.v_set * 0.5, "set"))
+        # Half the voltage -> orders of magnitude slower (Section 3.2).
+        assert factor < 1e-2
+
+    def test_monotone_in_voltage(self, model):
+        d = model.device
+        vs = d.v_set * np.array([0.5, 0.7, 0.9, 1.0])
+        factors = model.nonlinearity_factor(vs, "set")
+        assert np.all(np.diff(factors) > 0)

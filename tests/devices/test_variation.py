@@ -1,0 +1,89 @@
+"""Tests for the lognormal variation models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import VariationConfig
+from repro.devices.variation import VariationModel, lognormal_multipliers
+
+
+class TestLognormalMultipliers:
+    def test_sigma_zero_gives_ones(self, rng):
+        m = lognormal_multipliers(rng, 0.0, (5, 5))
+        assert np.all(m == 1.0)
+
+    def test_negative_sigma_rejected(self, rng):
+        with pytest.raises(ValueError, match="sigma"):
+            lognormal_multipliers(rng, -0.1, (2,))
+
+    @given(sigma=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=15, deadline=None)
+    def test_multipliers_positive_and_log_centered(self, sigma):
+        rng = np.random.default_rng(7)
+        m = lognormal_multipliers(rng, sigma, (4000,))
+        assert np.all(m > 0)
+        assert np.mean(np.log(m)) == pytest.approx(0.0, abs=4 * sigma / 60)
+
+    def test_log_std_matches_sigma(self, rng):
+        m = lognormal_multipliers(rng, 0.6, (20000,))
+        assert np.std(np.log(m)) == pytest.approx(0.6, rel=0.05)
+
+
+class TestVariationModel:
+    def test_parametric_theta_shape_and_stats(self, rng):
+        model = VariationModel(VariationConfig(sigma=0.5), rng)
+        theta = model.sample_parametric_theta((100, 50))
+        assert theta.shape == (100, 50)
+        assert np.std(theta) == pytest.approx(0.5, rel=0.1)
+
+    def test_sigma_zero_parametric_is_zero(self, rng):
+        model = VariationModel(VariationConfig(sigma=0.0), rng)
+        assert np.all(model.sample_parametric_theta((3, 3)) == 0.0)
+
+    def test_cycle_noise_small(self, rng):
+        model = VariationModel(VariationConfig(sigma_cycle=0.03), rng)
+        eta = model.sample_cycle((5000,))
+        assert np.std(np.log(eta)) == pytest.approx(0.03, rel=0.1)
+
+    def test_apply_multiplies(self, rng):
+        model = VariationModel(VariationConfig(sigma=0.4, sigma_cycle=0.0),
+                               rng)
+        target = np.full((4, 4), 2.0)
+        theta = np.log(np.full((4, 4), 1.5))
+        actual = model.apply(target, theta, with_cycle_noise=False)
+        assert np.allclose(actual, 3.0)
+
+    def test_apply_with_cycle_noise_differs_between_calls(self, rng):
+        model = VariationModel(VariationConfig(sigma_cycle=0.05), rng)
+        target = np.ones((8, 8))
+        theta = np.zeros((8, 8))
+        a = model.apply(target, theta)
+        b = model.apply(target, theta)
+        assert not np.allclose(a, b)
+
+    def test_apply_shape_mismatch_raises(self, rng):
+        model = VariationModel(rng=rng)
+        with pytest.raises(ValueError, match="shape"):
+            model.apply(np.ones((2, 2)), np.zeros((3, 3)))
+
+    def test_no_defects_by_default(self, rng):
+        model = VariationModel(VariationConfig(), rng)
+        assert np.all(model.sample_defects((20, 20)) == 0)
+
+    def test_defect_rate_respected(self, rng):
+        cfg = VariationConfig(defect_rate=0.2, defect_lrs_fraction=0.5)
+        model = VariationModel(cfg, rng)
+        defects = model.sample_defects((200, 200))
+        rate = np.mean(defects != 0)
+        assert rate == pytest.approx(0.2, abs=0.02)
+        assert np.any(defects == 1) and np.any(defects == -1)
+
+    def test_defect_polarity_fraction(self, rng):
+        cfg = VariationConfig(defect_rate=0.5, defect_lrs_fraction=1.0)
+        model = VariationModel(cfg, rng)
+        defects = model.sample_defects((100, 100))
+        assert np.all(defects >= 0)

@@ -1,0 +1,66 @@
+"""Tests for the experiment-scale presets and dataset cache."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import ExperimentScale, get_dataset
+
+
+class TestExperimentScale:
+    def test_paper_preset_matches_paper_counts(self):
+        scale = ExperimentScale.paper()
+        assert scale.n_train == 4000
+        assert scale.n_test == 2000
+        assert scale.column_mc_trials == 1000
+
+    def test_quick_preset_is_smaller(self):
+        quick = ExperimentScale.quick()
+        paper = ExperimentScale.paper()
+        assert quick.n_train < paper.n_train
+        assert quick.mc_trials < paper.mc_trials
+        assert quick.epochs < paper.epochs
+
+    def test_gdt_uses_scale_epochs(self):
+        scale = ExperimentScale(epochs=123)
+        assert scale.gdt().epochs == 123
+
+    def test_frozen(self):
+        scale = ExperimentScale.quick()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scale.n_train = 1
+
+
+class TestGetDataset:
+    def test_returns_requested_resolution(self):
+        scale = ExperimentScale(n_train=40, n_test=20, seed=55)
+        ds = get_dataset(scale, 14)
+        assert ds.image_size == 14
+        assert ds.x_train.shape == (40, 196)
+
+    def test_caches_identical_requests(self):
+        scale = ExperimentScale(n_train=40, n_test=20, seed=56)
+        a = get_dataset(scale, 7)
+        b = get_dataset(scale, 7)
+        assert a is b
+
+    def test_different_sizes_are_distinct(self):
+        scale = ExperimentScale(n_train=40, n_test=20, seed=57)
+        a = get_dataset(scale, 7)
+        b = get_dataset(scale, 14)
+        assert a is not b
+        assert a.image_size != b.image_size
+
+    def test_seed_changes_data(self):
+        a = get_dataset(ExperimentScale(n_train=30, n_test=10, seed=58), 7)
+        b = get_dataset(ExperimentScale(n_train=30, n_test=10, seed=59), 7)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_full_resolution_passthrough(self):
+        scale = ExperimentScale(n_train=20, n_test=10, seed=60)
+        ds = get_dataset(scale, 28)
+        assert ds.image_size == 28
+        assert ds.x_train.shape == (20, 784)

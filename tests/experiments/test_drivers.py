@@ -1,0 +1,180 @@
+"""Smoke + shape tests for the per-figure experiment drivers.
+
+Each driver runs at a deliberately tiny scale and the paper's headline
+*trend* is asserted -- not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_table1,
+)
+
+
+def tiny_scale(**kwargs):
+    defaults = dict(
+        n_train=300,
+        n_test=150,
+        mc_trials=2,
+        column_mc_trials=50,
+        epochs=50,
+        gammas=(0.0, 0.3, 0.7),
+        n_injections=3,
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return ExperimentScale(**defaults)
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(tiny_scale(), sigmas=(0.0, 0.3, 0.6))
+
+    def test_old_error_grows_with_sigma(self, result):
+        assert result.old_discrepancy[-1] > result.old_discrepancy[0]
+        assert result.old_discrepancy[-1] > 0.1
+
+    def test_cld_error_stays_flat_and_small(self, result):
+        assert np.all(result.cld_discrepancy < 0.05)
+
+    def test_rows_format(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        assert all(len(r) == 3 for r in rows)
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(heights=(16, 32, 64))
+
+    def test_skew_grows_with_height(self, result):
+        assert np.all(np.diff(result.d_skew) > 0)
+
+    def test_update_ratio_shrinks_with_height(self, result):
+        assert np.all(np.diff(result.update_ratio) < 0)
+
+    def test_maps_present_for_largest_height(self, result):
+        assert result.maps["vertical"].shape == (64, 10)
+        assert result.maps["horizontal"].shape == (64, 10)
+        assert result.maps["combined"].shape == (64, 10)
+
+    def test_ladder_agrees_with_nodal(self, result):
+        assert result.ladder_vs_nodal_error < 0.02
+
+    def test_beta_below_one(self, result):
+        assert np.all(result.beta < 1.0)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(tiny_scale(), sigma=0.8, image_size=7)
+
+    def test_clean_rate_suffers_at_large_gamma(self, result):
+        assert result.test_rate_clean[-1] <= result.test_rate_clean[0] + 0.02
+
+    def test_injected_rate_below_clean(self, result):
+        assert np.all(
+            result.test_rate_injected <= result.test_rate_clean + 0.05
+        )
+
+    def test_best_gamma_recorded(self, result):
+        assert result.best_gamma in result.gammas
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(tiny_scale(), sigma=0.8, image_size=7)
+
+    def test_amp_lifts_the_curve(self, result):
+        assert np.mean(result.test_after_amp) > np.mean(
+            result.test_before_amp
+        )
+
+    def test_rows_format(self, result):
+        assert len(result.rows()) == 3
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8(
+            tiny_scale(), bits=(3, 6, 9), sigmas=(0.6,), image_size=7
+        )
+
+    def test_rate_improves_with_resolution(self, result):
+        rates = result.test_rate[0]
+        assert rates[1] > rates[0]
+
+    def test_saturation_detection(self, result):
+        bits = result.saturation_bits(tolerance=0.05)
+        assert len(bits) == 1
+        assert bits[0] in (3, 6, 9)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(
+            tiny_scale(),
+            redundancy=(0, 16),
+            sigmas=(0.8,),
+            image_size=7,
+            r_wire=0.0,
+        )
+
+    def test_vortex_beats_old(self, result):
+        assert result.vortex_rate[0, 0] > result.old_rate[0]
+
+    def test_gains_recorded(self, result):
+        assert result.vortex_gain_over_old == pytest.approx(
+            100 * (result.vortex_rate[0, 0] - result.old_rate[0])
+        )
+
+    def test_grid_shape(self, result):
+        assert result.vortex_rate.shape == (1, 2)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1(
+            tiny_scale(mc_trials=1),
+            image_sizes=(14, 7),
+            redundancy=16,
+        )
+
+    def test_rows_match_sizes(self, result):
+        assert result.rows.tolist() == [196, 49]
+
+    def test_all_schemes_reported(self, result):
+        for key in ("cld_ir", "vortex_ir", "cld_no_ir"):
+            assert result.test_rate[key].shape == (2,)
+            assert np.all(result.test_rate[key] >= 0)
+            assert np.all(result.test_rate[key] <= 1)
+
+    def test_cld_without_ir_beats_cld_with_ir_on_large_crossbar(
+        self, result
+    ):
+        assert (
+            result.test_rate["cld_no_ir"][0]
+            >= result.test_rate["cld_ir"][0] - 0.05
+        )
+
+    def test_table_renders(self, result):
+        text = result.table()
+        assert "CLD w/ IR-drop" in text
+        assert "Vortex" in text

@@ -1,0 +1,137 @@
+"""Tests for the BSB associative-recall substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.bsb import (
+    BSBConfig,
+    bsb_recall,
+    noisy_probe,
+    recall_success_rate,
+    train_bsb_weights,
+)
+
+
+@pytest.fixture
+def prototypes(rng):
+    """Four well-separated bipolar patterns of dimension 64."""
+    protos = np.sign(rng.standard_normal((4, 64)))
+    protos[protos == 0] = 1.0
+    return protos
+
+
+class TestTraining:
+    def test_prototypes_become_near_eigenvectors(self, prototypes):
+        w = train_bsb_weights(prototypes)
+        for p in prototypes:
+            assert np.allclose(w @ p, p, atol=0.05)
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError, match="bipolar"):
+            train_bsb_weights(np.array([[0.5, -1.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="k, n"):
+            train_bsb_weights(np.ones(4))
+
+
+class TestRecall:
+    def test_prototype_is_fixed_point(self, prototypes):
+        w = train_bsb_weights(prototypes)
+        result = bsb_recall(prototypes[0], weights=w)
+        assert result.converged
+        assert np.array_equal(np.sign(result.state), prototypes[0])
+
+    def test_noisy_probe_recalls(self, prototypes, rng):
+        w = train_bsb_weights(prototypes)
+        probe = noisy_probe(prototypes[1], 0.1, rng)
+        result = bsb_recall(probe, weights=w)
+        assert result.converged
+        assert np.mean(
+            np.sign(result.state) == prototypes[1]
+        ) > 0.95
+
+    def test_requires_exactly_one_operator(self, prototypes):
+        w = train_bsb_weights(prototypes)
+        with pytest.raises(ValueError, match="exactly one"):
+            bsb_recall(prototypes[0])
+        with pytest.raises(ValueError, match="exactly one"):
+            bsb_recall(prototypes[0], weights=w, matvec=lambda v: v)
+
+    def test_matvec_callable_path(self, prototypes):
+        w = train_bsb_weights(prototypes)
+        result = bsb_recall(prototypes[0], matvec=lambda v: w @ v)
+        assert result.converged
+
+    def test_iteration_budget_respected(self, prototypes):
+        w = train_bsb_weights(prototypes)
+        cfg = BSBConfig(max_iterations=1, alpha=0.01, lam=0.9)
+        result = bsb_recall(
+            0.1 * prototypes[0], config=cfg, weights=w
+        )
+        assert not result.converged
+        assert result.iterations == 1
+
+
+class TestNoisyProbe:
+    def test_flip_count(self, rng):
+        p = np.ones(100)
+        flipped = noisy_probe(p, 0.25, rng)
+        assert np.sum(flipped == -1) == 25
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValueError, match="flip_fraction"):
+            noisy_probe(np.ones(4), 1.5, rng)
+
+
+class TestSuccessRate:
+    def test_clean_weights_recall_reliably(self, prototypes, rng):
+        w = train_bsb_weights(prototypes)
+        rate = recall_success_rate(
+            prototypes, 0.1, rng, weights=w, probes_per_prototype=5
+        )
+        assert rate > 0.9
+
+    def test_heavy_noise_degrades(self, prototypes, rng):
+        w = train_bsb_weights(prototypes)
+        light = recall_success_rate(
+            prototypes, 0.05, rng, weights=w, probes_per_prototype=5
+        )
+        heavy = recall_success_rate(
+            prototypes, 0.45, rng, weights=w, probes_per_prototype=5
+        )
+        assert heavy <= light
+
+    def test_hardware_matvec_integration(self, prototypes, rng):
+        # Recall through a differential crossbar read path.
+        from repro.config import CrossbarConfig, VariationConfig
+        from repro.core.base import HardwareSpec, build_pair
+        from repro.core.old import program_pair_open_loop
+        from repro.xbar.mapping import WeightScaler
+
+        w = train_bsb_weights(prototypes)
+        n = w.shape[0]
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=0.2, sigma_cycle=0.0),
+            crossbar=CrossbarConfig(rows=n, cols=n, r_wire=0.0),
+            quantize_read=False,
+        )
+        pair = build_pair(spec, WeightScaler(1.0), rng)
+        program_pair_open_loop(pair, w)
+        scale = np.abs(w).max()  # normalisation gain of programming
+
+        def hardware_matvec(x):
+            # BSB states are bipolar; drive the two phases separately
+            # (positive and negative half-vectors) since word lines
+            # accept [0, 1] inputs.
+            pos = np.clip(x, 0.0, 1.0)
+            neg = np.clip(-x, 0.0, 1.0)
+            return (pair.matvec(pos) - pair.matvec(neg)) * scale
+
+        rate = recall_success_rate(
+            prototypes, 0.1, rng, matvec=hardware_matvec,
+            probes_per_prototype=3,
+        )
+        assert rate > 0.7

@@ -1,0 +1,89 @@
+"""Tests for the software subgradient trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.gdt import GDTConfig, train_gdt
+from repro.nn.linear import one_vs_all_targets
+
+
+def separable_problem(rng, n=60, d=6):
+    """Linearly separable 3-class toy problem."""
+    centers = np.array(
+        [[2.0, 0, 0, 0, 0, 0], [0, 2.0, 0, 0, 0, 0], [0, 0, 2.0, 0, 0, 0]]
+    )
+    labels = rng.integers(0, 3, n)
+    x = centers[labels] + 0.15 * rng.standard_normal((n, d))
+    return np.clip(x, 0, None), labels
+
+
+class TestTraining:
+    def test_separable_problem_fits(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        result = train_gdt(x, y, config=GDTConfig(epochs=200))
+        preds = np.argmax(x @ result.weights, axis=1)
+        assert np.mean(preds == labels) > 0.95
+
+    def test_loss_decreases_overall(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        result = train_gdt(x, y, config=GDTConfig(epochs=100))
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    def test_deterministic(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        r1 = train_gdt(x, y, config=GDTConfig(epochs=50))
+        r2 = train_gdt(x, y, config=GDTConfig(epochs=50))
+        assert np.array_equal(r1.weights, r2.weights)
+
+    def test_warm_start_respected(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        w0 = np.full((6, 3), 0.1)
+        result = train_gdt(
+            x, y, config=GDTConfig(epochs=1, learning_rate=0.0,
+                                   momentum=0.0, l2=0.0),
+            w_init=w0,
+        )
+        assert np.allclose(result.weights, w0)
+
+    def test_penalty_scale_changes_solution(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        plain = train_gdt(x, y, penalty_scale=0.0,
+                          config=GDTConfig(epochs=100))
+        robust = train_gdt(x, y, penalty_scale=1.0,
+                           config=GDTConfig(epochs=100))
+        assert not np.allclose(plain.weights, robust.weights)
+
+    def test_l2_shrinks_weights(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        light = train_gdt(x, y, config=GDTConfig(epochs=100, l2=1e-5))
+        heavy = train_gdt(x, y, config=GDTConfig(epochs=100, l2=1e-1))
+        assert np.linalg.norm(heavy.weights) < np.linalg.norm(light.weights)
+
+    def test_tolerance_early_stop(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        result = train_gdt(
+            x, y, config=GDTConfig(epochs=5000, tolerance=1e-3)
+        )
+        assert result.converged
+        assert len(result.loss_history) < 5000
+
+
+class TestValidation:
+    def test_mismatched_samples_rejected(self):
+        with pytest.raises(ValueError, match="matching"):
+            train_gdt(np.ones((4, 2)), np.ones((5, 1)))
+
+    def test_bad_w_init_shape_rejected(self, rng):
+        x, labels = separable_problem(rng)
+        y = one_vs_all_targets(labels, 3)
+        with pytest.raises(ValueError, match="w_init"):
+            train_gdt(x, y, w_init=np.zeros((2, 2)))

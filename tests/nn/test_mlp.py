@@ -1,0 +1,101 @@
+"""Tests for the two-crossbar MLP deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.nn.mlp import MLPConfig, MLPOnCrossbars, train_mlp
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.pair import DifferentialCrossbar
+
+
+def make_pair(rows, cols, sigma=0.0, seed=0):
+    return DifferentialCrossbar(
+        WeightScaler(1.0),
+        config=CrossbarConfig(rows=rows, cols=cols, r_wire=0.0),
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+@pytest.fixture(scope="module")
+def trained(tiny_dataset):
+    ds = tiny_dataset
+    mlp = train_mlp(
+        ds.x_train, ds.y_train, 10,
+        MLPConfig(hidden=32, epochs=200, seed=3),
+    )
+    return ds, mlp
+
+
+class TestTrainMLP:
+    def test_beats_chance_clearly(self, trained):
+        ds, mlp = trained
+        assert mlp.accuracy(ds.x_test, ds.y_test) > 0.6
+
+    def test_hidden_layer_helps_on_training_set(self, trained):
+        ds, mlp = trained
+        assert mlp.accuracy(ds.x_train, ds.y_train) > 0.8
+
+    def test_weights_finite(self, trained):
+        _, mlp = trained
+        assert np.all(np.isfinite(mlp.w1))
+        assert np.all(np.isfinite(mlp.w2))
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        ds = tiny_dataset
+        cfg = MLPConfig(hidden=16, epochs=20, seed=5)
+        a = train_mlp(ds.x_train, ds.y_train, 10, cfg)
+        b = train_mlp(ds.x_train, ds.y_train, 10, cfg)
+        assert np.array_equal(a.w1, b.w1)
+
+
+class TestMLPOnCrossbars:
+    def test_ideal_hardware_matches_software(self, trained):
+        ds, mlp = trained
+        n, h = mlp.w1.shape
+        deploy = MLPOnCrossbars(
+            mlp,
+            make_pair(n, h),
+            make_pair(h, 10, seed=1),
+        )
+        deploy.program(ds.x_train[:200])
+        hw = deploy.accuracy(ds.x_test, ds.y_test)
+        sw = mlp.accuracy(ds.x_test, ds.y_test)
+        assert hw == pytest.approx(sw, abs=0.05)
+
+    def test_variation_degrades_both_layers(self, trained):
+        ds, mlp = trained
+        n, h = mlp.w1.shape
+        rates = {}
+        for sigma in (0.0, 1.0):
+            trial = []
+            for seed in range(3):
+                deploy = MLPOnCrossbars(
+                    mlp,
+                    make_pair(n, h, sigma=sigma, seed=seed),
+                    make_pair(h, 10, sigma=sigma, seed=100 + seed),
+                )
+                deploy.program(ds.x_train[:200])
+                trial.append(deploy.accuracy(ds.x_test, ds.y_test))
+            rates[sigma] = float(np.mean(trial))
+        assert rates[1.0] < rates[0.0] - 0.05
+
+    def test_shape_validation(self, trained):
+        _, mlp = trained
+        n, h = mlp.w1.shape
+        with pytest.raises(ValueError, match="layer1"):
+            MLPOnCrossbars(mlp, make_pair(n + 1, h), make_pair(h, 10))
+        with pytest.raises(ValueError, match="layer2"):
+            MLPOnCrossbars(mlp, make_pair(n, h), make_pair(h + 1, 10))
+
+    def test_scores_shape(self, trained):
+        ds, mlp = trained
+        n, h = mlp.w1.shape
+        deploy = MLPOnCrossbars(
+            mlp, make_pair(n, h), make_pair(h, 10, seed=2)
+        )
+        deploy.program(ds.x_train[:100])
+        assert deploy.scores(ds.x_test[:7]).shape == (7, 10)

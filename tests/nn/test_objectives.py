@@ -1,0 +1,138 @@
+"""Tests for the hinge and robust-hinge objectives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn.objectives import (
+    hinge_gradient,
+    hinge_loss,
+    robust_hinge_gradient,
+    robust_hinge_loss,
+    variation_penalty,
+)
+
+
+def toy_problem():
+    x = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    w = np.array([[2.0], [-1.0]])
+    y = np.array([[1.0], [-1.0], [1.0]])
+    return x, w, y
+
+
+class TestHinge:
+    def test_values_on_crafted_case(self):
+        x, w, y = toy_problem()
+        # margins: 2, 1, 1 -> losses 0, 0, 0
+        assert hinge_loss(x, w, y) == 0.0
+
+    def test_violating_sample_contributes(self):
+        x = np.array([[1.0]])
+        w = np.array([[0.5]])
+        y = np.array([[1.0]])
+        assert hinge_loss(x, w, y) == pytest.approx(0.5)
+
+    def test_gradient_zero_when_all_margins_met(self):
+        x, w, y = toy_problem()
+        assert np.allclose(hinge_gradient(x, w, y), 0.0)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        x = rng.random((20, 5))
+        w = rng.uniform(-1, 1, (5, 3))
+        y = np.sign(rng.uniform(-1, 1, (20, 3)))
+        grad = hinge_gradient(x, w, y)
+        eps = 1e-6
+        for idx in [(0, 0), (2, 1), (4, 2)]:
+            w_plus = w.copy()
+            w_plus[idx] += eps
+            w_minus = w.copy()
+            w_minus[idx] -= eps
+            numeric = (hinge_loss(x, w_plus, y)
+                       - hinge_loss(x, w_minus, y)) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=1e-4)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            hinge_loss(np.ones(3), np.ones((3, 1)), np.ones((3, 1)))
+        with pytest.raises(ValueError, match="width"):
+            hinge_loss(np.ones((2, 3)), np.ones((4, 1)), np.ones((2, 1)))
+        with pytest.raises(ValueError, match="Y shape"):
+            hinge_loss(np.ones((2, 3)), np.ones((3, 1)), np.ones((3, 1)))
+
+
+class TestVariationPenalty:
+    def test_formula(self):
+        x = np.array([[1.0, 2.0]])
+        w = np.array([[3.0], [4.0]])
+        # ||x (.) w||_2 = sqrt(9 + 64)
+        assert variation_penalty(x, w)[0, 0] == pytest.approx(
+            np.sqrt(73.0), rel=1e-6
+        )
+
+    @given(
+        arrays(float, (4, 3), elements=st.floats(0, 1)),
+        arrays(float, (3, 2), elements=st.floats(-1, 1)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative_and_scales_linearly(self, x, w):
+        p1 = variation_penalty(x, w)
+        assert np.all(p1 >= 0)
+        p2 = variation_penalty(x, 2 * w)
+        assert np.allclose(p2, 2 * p1, rtol=1e-6, atol=1e-5)
+
+
+class TestRobustHinge:
+    def test_zero_scale_reduces_to_hinge(self, rng):
+        x = rng.random((10, 4))
+        w = rng.uniform(-1, 1, (4, 2))
+        y = np.sign(rng.uniform(-1, 1, (10, 2)))
+        assert robust_hinge_loss(x, w, y, 0.0) == pytest.approx(
+            hinge_loss(x, w, y)
+        )
+        assert np.allclose(
+            robust_hinge_gradient(x, w, y, 0.0), hinge_gradient(x, w, y)
+        )
+
+    def test_penalty_increases_loss(self, rng):
+        x = rng.random((10, 4))
+        w = rng.uniform(-1, 1, (4, 2))
+        y = np.sign(rng.uniform(-1, 1, (10, 2)))
+        assert robust_hinge_loss(x, w, y, 1.0) >= hinge_loss(x, w, y)
+
+    def test_loss_monotone_in_scale(self, rng):
+        x = rng.random((10, 4))
+        w = rng.uniform(-1, 1, (4, 2))
+        y = np.sign(rng.uniform(-1, 1, (10, 2)))
+        losses = [robust_hinge_loss(x, w, y, s) for s in (0.0, 0.5, 1.0)]
+        assert losses[0] <= losses[1] <= losses[2]
+
+    def test_negative_scale_rejected(self, rng):
+        x = rng.random((2, 2))
+        w = np.ones((2, 1))
+        y = np.ones((2, 1))
+        with pytest.raises(ValueError, match="penalty_scale"):
+            robust_hinge_loss(x, w, y, -0.1)
+        with pytest.raises(ValueError, match="penalty_scale"):
+            robust_hinge_gradient(x, w, y, -0.1)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        x = rng.random((15, 4))
+        w = rng.uniform(-1, 1, (4, 2))
+        y = np.sign(rng.uniform(-1, 1, (15, 2)))
+        scale = 0.7
+        grad = robust_hinge_gradient(x, w, y, scale)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 1), (3, 0)]:
+            w_plus = w.copy()
+            w_plus[idx] += eps
+            w_minus = w.copy()
+            w_minus[idx] -= eps
+            numeric = (
+                robust_hinge_loss(x, w_plus, y, scale)
+                - robust_hinge_loss(x, w_minus, y, scale)
+            ) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=1e-4)

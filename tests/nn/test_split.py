@@ -1,0 +1,73 @@
+"""Tests for the stratified train/validation split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.split import stratified_split
+
+
+class TestStratifiedSplit:
+    def test_disjoint_and_exhaustive(self, rng):
+        labels = np.repeat(np.arange(5), 20)
+        split = stratified_split(labels, 0.2, rng)
+        combined = np.sort(
+            np.concatenate([split.train_idx, split.val_idx])
+        )
+        assert np.array_equal(combined, np.arange(100))
+
+    def test_per_class_fraction(self, rng):
+        labels = np.repeat(np.arange(4), 50)
+        split = stratified_split(labels, 0.25, rng)
+        for cls in range(4):
+            n_val = np.sum(labels[split.val_idx] == cls)
+            assert n_val == pytest.approx(12.5, abs=1.5)
+
+    def test_every_class_in_validation(self, rng):
+        labels = np.repeat(np.arange(10), 6)
+        split = stratified_split(labels, 0.1, rng)
+        assert set(labels[split.val_idx]) == set(range(10))
+
+    def test_singleton_class_stays_in_training(self, rng):
+        labels = np.array([0, 0, 0, 0, 1])
+        split = stratified_split(labels, 0.2, rng)
+        assert 4 in split.train_idx
+
+    def test_apply(self, rng):
+        labels = np.repeat(np.arange(3), 10)
+        x = np.arange(30, dtype=float)[:, None]
+        split = stratified_split(labels, 0.2, rng)
+        x_tr, y_tr, x_val, y_val = split.apply(x, labels)
+        assert x_tr.shape[0] == y_tr.size
+        assert x_val.shape[0] == y_val.size
+        assert x_tr.shape[0] + x_val.shape[0] == 30
+
+    def test_bad_fraction_rejected(self, rng):
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError, match="val_fraction"):
+            stratified_split(labels, 0.0, rng)
+        with pytest.raises(ValueError, match="val_fraction"):
+            stratified_split(labels, 1.0, rng)
+
+    def test_empty_labels_rejected(self, rng):
+        with pytest.raises(ValueError, match="non-empty"):
+            stratified_split(np.array([]), 0.2, rng)
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=2, max_value=30), min_size=2, max_size=6
+        ),
+        frac=st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_partition(self, counts, frac):
+        rng = np.random.default_rng(0)
+        labels = np.concatenate(
+            [np.full(c, i) for i, c in enumerate(counts)]
+        )
+        split = stratified_split(labels, frac, rng)
+        assert len(set(split.train_idx) & set(split.val_idx)) == 0
+        assert split.train_idx.size + split.val_idx.size == labels.size

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface and report generation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.common import ExperimentScale
+from repro.experiments.report import EXPERIMENT_RUNNERS, generate_report
+
+
+def nano_scale() -> ExperimentScale:
+    return ExperimentScale(
+        n_train=200,
+        n_test=100,
+        mc_trials=1,
+        column_mc_trials=20,
+        epochs=30,
+        gammas=(0.0, 0.4),
+        n_injections=2,
+        seed=13,
+    )
+
+
+class TestParser:
+    def test_report_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.command == "report"
+        assert args.experiments is None
+        assert args.image_size == 14
+        assert not args.paper_scale
+
+    def test_report_experiment_subset(self):
+        args = build_parser().parse_args(
+            ["report", "--experiments", "fig2", "fig3"]
+        )
+        assert args.experiments == ["fig2", "fig3"]
+
+    def test_report_rejects_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["report", "--experiments", "fig99"]
+            )
+
+    def test_quickstart_options(self):
+        args = build_parser().parse_args(
+            ["quickstart", "--sigma", "0.4", "--image-size", "7"]
+        )
+        assert args.command == "quickstart"
+        assert args.sigma == 0.4
+        assert args.image_size == 7
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerateReport:
+    def test_runs_selected_cheap_sections(self):
+        text = generate_report(
+            nano_scale(), image_size=7, experiments=("fig2", "fig3")
+        )
+        assert "Fig. 2" in text
+        assert "Fig. 3" in text
+        assert "Fig. 4" not in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(nano_scale(), experiments=("nope",))
+
+    def test_all_runners_registered(self):
+        assert set(EXPERIMENT_RUNNERS) == {
+            "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "table1"
+        }
+
+
+class TestMain:
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Shrink the quick scale so the CLI test stays fast.
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        out = tmp_path / "report.txt"
+        code = main([
+            "report", "--experiments", "fig3", "--output", str(out),
+        ])
+        assert code == 0
+        assert "Fig. 3" in out.read_text()
+        assert "written to" in capsys.readouterr().out
+
+    def test_report_to_stdout(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        code = main(["report", "--experiments", "fig2"])
+        assert code == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_seed_override(self, monkeypatch, capsys):
+        import repro.cli as cli_module
+
+        captured = {}
+        real = cli_module.generate_report
+
+        def spy(scale, image_size, experiments):
+            captured["seed"] = scale.seed
+            return real(scale, image_size, experiments)
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        monkeypatch.setattr(cli_module, "generate_report", spy)
+        main(["report", "--experiments", "fig3", "--seed", "99"])
+        assert captured["seed"] == 99

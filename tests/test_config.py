@@ -1,0 +1,65 @@
+"""Tests for the global configuration dataclasses."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CrossbarConfig,
+    DeviceConfig,
+    SensingConfig,
+    VariationConfig,
+)
+
+
+class TestDeviceConfig:
+    def test_paper_nominals(self):
+        d = DeviceConfig()
+        assert d.r_on == pytest.approx(10e3)
+        assert d.r_off == pytest.approx(1e6)
+
+    def test_derived_conductances(self):
+        d = DeviceConfig()
+        assert d.g_on == pytest.approx(1e-4)
+        assert d.g_off == pytest.approx(1e-6)
+        assert d.g_range == pytest.approx(9.9e-5)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DeviceConfig().r_on = 1.0
+
+    def test_half_select_ratio(self):
+        assert DeviceConfig().v_half_ratio == 0.5
+
+
+class TestCrossbarConfig:
+    def test_paper_defaults(self):
+        c = CrossbarConfig()
+        assert c.rows == 784
+        assert c.cols == 10
+        assert c.r_wire == pytest.approx(2.5)
+        assert c.v_read == pytest.approx(1.0)
+
+
+class TestVariationConfig:
+    def test_paper_default_sigma(self):
+        assert VariationConfig().sigma == pytest.approx(0.6)
+
+    def test_default_distribution_is_papers(self):
+        assert VariationConfig().distribution == "lognormal"
+
+    def test_no_defects_by_default(self):
+        assert VariationConfig().defect_rate == 0.0
+
+
+class TestSensingConfig:
+    def test_paper_adc_resolution(self):
+        assert SensingConfig().adc_bits == 6
+
+    def test_replace_produces_new_instance(self):
+        base = SensingConfig()
+        changed = dataclasses.replace(base, adc_bits=8)
+        assert base.adc_bits == 6
+        assert changed.adc_bits == 8

@@ -1,0 +1,146 @@
+"""Failure-injection and degenerate-input behaviour.
+
+The pipeline must stay well-defined at the edges of its operating
+envelope: extreme variation, fully defective fabric, degenerate
+datasets, and zero weights.  Rates may collapse to chance -- they must
+not crash, hang, or return values outside [0, 1].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CrossbarConfig, SensingConfig, VariationConfig
+from repro.core.amp import run_amp
+from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.cld import CLDConfig, train_cld
+from repro.core.old import OLDConfig, program_pair_open_loop
+from repro.core.self_tuning import SelfTuningConfig, tune_gamma
+from repro.core.vat import VATConfig, train_vat
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def spec_with(sigma=0.0, defect_rate=0.0, rows=49):
+    return HardwareSpec(
+        variation=VariationConfig(sigma=sigma, defect_rate=defect_rate),
+        crossbar=CrossbarConfig(rows=rows, cols=10, r_wire=0.0),
+    )
+
+
+class TestExtremeVariation:
+    def test_sigma_three_completes_with_valid_rate(self, tiny_dataset):
+        ds = tiny_dataset
+        pair = build_pair(
+            spec_with(sigma=3.0, rows=ds.n_features),
+            WeightScaler(1.0),
+            np.random.default_rng(0),
+        )
+        w = np.random.default_rng(1).uniform(-1, 1, (ds.n_features, 10))
+        program_pair_open_loop(pair, w)
+        rate = hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+        assert 0.0 <= rate <= 1.0
+
+    def test_vat_with_huge_sigma_still_trains(self, tiny_dataset):
+        ds = tiny_dataset
+        outcome = train_vat(
+            ds.x_train, ds.y_train, 10,
+            VATConfig(gamma=1.0, sigma=3.0, gdt=GDTConfig(epochs=20)),
+        )
+        assert np.all(np.isfinite(outcome.weights))
+
+
+class TestFullyDefectiveFabric:
+    def test_all_stuck_crossbar_is_handled(self, tiny_dataset):
+        ds = tiny_dataset
+        pair = build_pair(
+            spec_with(defect_rate=1.0, rows=ds.n_features),
+            WeightScaler(1.0),
+            np.random.default_rng(2),
+        )
+        w = np.random.default_rng(3).uniform(-1, 1, (ds.n_features, 10))
+        program_pair_open_loop(pair, w)
+        rate = hardware_test_rate(pair, ds.x_test, ds.y_test, "ideal")
+        assert 0.0 <= rate <= 1.0
+
+    def test_amp_on_all_stuck_fabric_completes(self, tiny_dataset):
+        ds = tiny_dataset
+        pair = build_pair(
+            spec_with(defect_rate=1.0, rows=ds.n_features),
+            WeightScaler(1.0),
+            np.random.default_rng(4),
+        )
+        w = np.random.default_rng(5).uniform(-1, 1, (ds.n_features, 10))
+        result = run_amp(
+            pair, w, ds.x_train.mean(axis=0), SensingConfig(adc_bits=6)
+        )
+        assert result.mapping.assignment.size == ds.n_features
+
+    def test_cld_on_all_stuck_fabric_terminates(self, tiny_dataset):
+        ds = tiny_dataset
+        pair = build_pair(
+            spec_with(defect_rate=1.0, rows=ds.n_features),
+            WeightScaler(1.0),
+            np.random.default_rng(6),
+        )
+        outcome = train_cld(
+            pair, ds.x_train, ds.y_train, 10,
+            CLDConfig(epochs=3, ir_drop_in_programming=False,
+                      ir_mode_read="ideal"),
+            np.random.default_rng(6),
+        )
+        assert 0.0 <= outcome.training_rate <= 1.0
+
+
+class TestDegenerateData:
+    def test_zero_weights_programmable(self, tiny_dataset):
+        ds = tiny_dataset
+        pair = build_pair(
+            spec_with(rows=ds.n_features), WeightScaler(1.0),
+            np.random.default_rng(7),
+        )
+        program_pair_open_loop(pair, np.zeros((ds.n_features, 10)))
+        # Both arrays idle at g_off; only the baseline's cycle noise
+        # leaks through (a fraction of a percent of full scale).
+        assert np.allclose(pair.effective_weights(), 0.0, atol=1e-2)
+
+    def test_constant_inputs_trainable(self):
+        x = np.full((40, 8), 0.5)
+        labels = np.arange(40) % 10
+        outcome = train_vat(
+            x, labels, 10, VATConfig(gamma=0.2, gdt=GDTConfig(epochs=10))
+        )
+        assert np.all(np.isfinite(outcome.weights))
+
+    def test_all_dark_inputs_trainable(self):
+        x = np.zeros((30, 8))
+        labels = np.arange(30) % 10
+        outcome = train_vat(
+            x, labels, 10, VATConfig(gamma=0.2, gdt=GDTConfig(epochs=5))
+        )
+        assert np.all(outcome.weights == 0.0)
+
+    def test_self_tuning_with_two_samples_per_class(self):
+        rng = np.random.default_rng(8)
+        labels = np.repeat(np.arange(10), 2)
+        x = np.clip(rng.random((20, 12)), 0, 1)
+        result = tune_gamma(
+            x, labels, 10, sigma=0.5,
+            config=SelfTuningConfig(
+                gammas=(0.0, 0.5), n_injections=2,
+                gdt=GDTConfig(epochs=5),
+            ),
+            rng=rng,
+        )
+        assert result.best_gamma in (0.0, 0.5)
+
+    def test_single_feature_crossbar(self):
+        pair = build_pair(
+            spec_with(rows=1), WeightScaler(1.0),
+            np.random.default_rng(9),
+        )
+        program_pair_open_loop(pair, np.ones((1, 10)))
+        out = pair.matvec(np.array([1.0]))
+        assert out.shape == (10,)
+        assert np.all(np.isfinite(out))

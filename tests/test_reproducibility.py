@@ -1,0 +1,95 @@
+"""End-to-end determinism: identical seeds give identical results.
+
+Every stochastic element of the library (rendering, fabrication,
+pre-test noise, tuning splits, injections) flows from explicit
+generators, so whole pipelines must reproduce bit-for-bit -- the
+property every number in EXPERIMENTS.md relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import HardwareSpec, build_pair
+from repro.core.self_tuning import SelfTuningConfig
+from repro.core.vortex import VortexConfig, run_vortex
+from repro.experiments import ExperimentScale, run_fig2, run_fig4
+from repro.nn.gdt import GDTConfig
+from repro.xbar.mapping import WeightScaler
+
+
+def nano_scale(seed=21):
+    return ExperimentScale(
+        n_train=200, n_test=100, mc_trials=1, column_mc_trials=25,
+        epochs=20, gammas=(0.0, 0.4), n_injections=2, seed=seed,
+    )
+
+
+class TestPipelineDeterminism:
+    def test_vortex_bitwise_reproducible(self, tiny_dataset):
+        ds = tiny_dataset
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=0.5),
+            crossbar=CrossbarConfig(rows=ds.n_features, cols=10,
+                                    r_wire=0.0),
+        )
+        cfg = VortexConfig(
+            self_tuning=SelfTuningConfig(
+                gammas=(0.0, 0.3), n_injections=2,
+                gdt=GDTConfig(epochs=20),
+            ),
+            integrate=False,
+        )
+
+        def once():
+            rng = np.random.default_rng(99)
+            pair = build_pair(spec, WeightScaler(1.0), rng,
+                              rows=ds.n_features + 4)
+            result = run_vortex(pair, ds.x_train, ds.y_train, 10, cfg,
+                                rng)
+            return (
+                result.weights,
+                result.mapping.assignment,
+                result.gamma,
+                result.test_rate(pair, ds.x_test, ds.y_test),
+            )
+
+        w1, a1, g1, r1 = once()
+        w2, a2, g2, r2 = once()
+        assert np.array_equal(w1, w2)
+        assert np.array_equal(a1, a2)
+        assert g1 == g2
+        assert r1 == r2
+
+    def test_fig2_driver_reproducible(self):
+        a = run_fig2(nano_scale(), sigmas=(0.0, 0.5))
+        b = run_fig2(nano_scale(), sigmas=(0.0, 0.5))
+        assert np.array_equal(a.old_discrepancy, b.old_discrepancy)
+        assert np.array_equal(a.cld_discrepancy, b.cld_discrepancy)
+
+    def test_fig4_driver_reproducible(self):
+        a = run_fig4(nano_scale(), sigma=0.6, image_size=7)
+        b = run_fig4(nano_scale(), sigma=0.6, image_size=7)
+        assert np.array_equal(a.training_rate, b.training_rate)
+        assert np.array_equal(a.test_rate_injected, b.test_rate_injected)
+
+    def test_different_seeds_change_results(self):
+        a = run_fig2(nano_scale(seed=21), sigmas=(0.5,))
+        b = run_fig2(nano_scale(seed=22), sigmas=(0.5,))
+        assert not np.array_equal(a.old_discrepancy, b.old_discrepancy)
+
+    def test_fabrication_independent_of_later_draws(self):
+        # Consuming extra randomness after fabrication must not change
+        # the fabricated thetas (generator order discipline).
+        spec = HardwareSpec(variation=VariationConfig(sigma=0.5),
+                            crossbar=CrossbarConfig(rows=8, cols=4,
+                                                    r_wire=0.0))
+        rng1 = np.random.default_rng(5)
+        pair1 = build_pair(spec, WeightScaler(1.0), rng1)
+        rng2 = np.random.default_rng(5)
+        pair2 = build_pair(spec, WeightScaler(1.0), rng2)
+        rng2.random(1000)  # later consumption
+        assert np.array_equal(
+            pair1.positive.array.theta, pair2.positive.array.theta
+        )

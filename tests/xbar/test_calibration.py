@@ -1,0 +1,122 @@
+"""Tests for sense auto-ranging and digital gain calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits.adc import ADC
+from repro.circuits.sensing import CurrentSense
+from repro.config import CrossbarConfig, VariationConfig
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.pair import DifferentialCrossbar
+
+
+def make_pair(rows=24, cols=4, sigma=0.0, r_wire=0.0, seed=0,
+              adc_bits=6, adc_fs=1.0):
+    adc = ADC(adc_bits, adc_fs, bipolar=True)
+    return DifferentialCrossbar(
+        scaler=WeightScaler(1.0),
+        config=CrossbarConfig(rows=rows, cols=cols, r_wire=r_wire),
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.0),
+        rng=np.random.default_rng(seed),
+        diff_sense=CurrentSense(adc=adc),
+    )
+
+
+class TestCalibrateSense:
+    def test_full_scale_tracks_signal_swing(self, rng):
+        pair = make_pair(adc_fs=1.0)  # absurdly wide initial range
+        w = rng.uniform(-1, 1, (24, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        x = rng.random((50, 24))
+        pair.calibrate_sense(x)
+        peak = np.max(np.abs(
+            pair.positive.read(x, "ideal") - pair.negative.read(x, "ideal")
+        ))
+        fs = pair.diff_sense.adc.full_scale
+        assert peak <= fs <= 3 * peak
+
+    def test_calibration_restores_accuracy(self, rng):
+        # With a worst-case-ranged converter the scores quantise to
+        # garbage; auto-ranging recovers them.
+        pair = make_pair(adc_fs=1.0)
+        w = rng.uniform(-1, 1, (24, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        x = rng.random((50, 24))
+        ideal = x @ w
+        coarse = pair.matvec(x)
+        pair.calibrate_sense(x)
+        ranged = pair.matvec(x)
+        err_coarse = np.mean(np.abs(coarse - ideal))
+        err_ranged = np.mean(np.abs(ranged - ideal))
+        assert err_ranged < err_coarse / 5
+
+    def test_noop_without_adc(self, rng):
+        pair = DifferentialCrossbar(
+            WeightScaler(1.0),
+            config=CrossbarConfig(rows=8, cols=2, r_wire=0.0),
+            variation=VariationConfig(sigma=0.0, sigma_cycle=0.0),
+            rng=np.random.default_rng(0),
+        )
+        pair.calibrate_sense(rng.random((5, 8)))  # must not raise
+
+    def test_bit_count_preserved(self, rng):
+        pair = make_pair(adc_bits=5)
+        pair.program_weights(rng.uniform(-1, 1, (24, 4)),
+                             with_cycle_noise=False)
+        pair.calibrate_sense(rng.random((20, 24)))
+        assert pair.diff_sense.adc.bits == 5
+        assert pair.diff_sense.adc.bipolar
+
+
+class TestDigitalGains:
+    def test_fit_corrects_column_gain_error(self, rng):
+        pair = make_pair(adc_bits=12)
+        w = rng.uniform(-1, 1, (24, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        pair.calibrate_sense(rng.random((30, 24)))
+        # Inject an artificial per-column gain error through the
+        # digital-gain slot itself, then verify calibration learns
+        # to undo it (fits against the intended weights).
+        x_cal = rng.random((60, 24))
+        gains = pair.calibrate_digital_gains(x_cal, w, "ideal")
+        scores = pair.matvec(x_cal)
+        ideal = x_cal @ w
+        assert np.allclose(scores, ideal, atol=0.02)
+        assert gains.shape == (4,)
+
+    def test_gains_reset_on_reprogram(self, rng):
+        pair = make_pair()
+        w = rng.uniform(-1, 1, (24, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        pair.calibrate_digital_gains(rng.random((20, 24)), w, "ideal")
+        assert pair.digital_gains is not None
+        pair.program_weights(w, with_cycle_noise=False)
+        assert pair.digital_gains is None
+
+    def test_gain_fit_bounded(self, rng):
+        pair = make_pair()
+        w = rng.uniform(-1, 1, (24, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        gains = pair.calibrate_digital_gains(
+            rng.random((20, 24)), 100.0 * w, "ideal"
+        )
+        assert np.all(gains <= 10.0)
+
+    def test_calibration_fixes_attenuated_reads(self, rng):
+        # With wire resistance the read loses gain per column; the
+        # digital fit recovers the intended score scale.
+        pair = make_pair(rows=48, r_wire=2.5, adc_bits=12)
+        w = rng.uniform(-1, 1, (48, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        x = rng.random((60, 48)) * 0.5
+        pair.set_reference_input(x.mean(axis=0))
+        pair.calibrate_sense(x)
+        before = pair.matvec(x, "reference")
+        pair.calibrate_digital_gains(x, w, "reference")
+        after = pair.matvec(x, "reference")
+        ideal = x @ w
+        assert np.mean(np.abs(after - ideal)) < np.mean(
+            np.abs(before - ideal)
+        )

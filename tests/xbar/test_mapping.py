@@ -1,0 +1,129 @@
+"""Tests for the weight <-> conductance mapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.xbar.mapping import WeightScaler, split_signed
+
+
+class TestSplitSigned:
+    def test_basic(self):
+        pos, neg = split_signed(np.array([[1.0, -2.0], [0.0, 3.0]]))
+        assert np.array_equal(pos, [[1.0, 0.0], [0.0, 3.0]])
+        assert np.array_equal(neg, [[0.0, 2.0], [0.0, 0.0]])
+
+    @given(
+        arrays(
+            float,
+            (3, 4),
+            elements=st.floats(min_value=-10, max_value=10),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction(self, w):
+        pos, neg = split_signed(w)
+        assert np.allclose(pos - neg, w)
+        assert np.all(pos >= 0) and np.all(neg >= 0)
+        assert np.all((pos == 0) | (neg == 0))
+
+
+class TestWeightScaler:
+    def test_rejects_nonpositive_w_max(self):
+        with pytest.raises(ValueError, match="w_max"):
+            WeightScaler(0.0)
+
+    def test_magnitude_endpoints(self):
+        scaler = WeightScaler(2.0)
+        d = scaler.device
+        assert scaler.magnitude_to_conductance(0.0) == pytest.approx(d.g_off)
+        assert scaler.magnitude_to_conductance(2.0) == pytest.approx(d.g_on)
+
+    def test_magnitude_clips_beyond_w_max(self):
+        scaler = WeightScaler(1.0)
+        assert scaler.magnitude_to_conductance(5.0) == pytest.approx(
+            scaler.device.g_on
+        )
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightScaler(1.0).magnitude_to_conductance(-0.1)
+
+    @given(
+        arrays(
+            float,
+            (4, 3),
+            elements=st.floats(min_value=-1.0, max_value=1.0),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pair_roundtrip(self, w):
+        scaler = WeightScaler(1.0)
+        g_pos, g_neg = scaler.weights_to_pair(w)
+        recovered = scaler.pair_to_weights(g_pos, g_neg)
+        assert np.allclose(recovered, w, atol=1e-12)
+
+    def test_for_weights_sizes_to_peak(self):
+        w = np.array([[0.3, -1.2], [0.4, 0.9]])
+        scaler = WeightScaler.for_weights(w, headroom=1.5)
+        assert scaler.w_max == pytest.approx(1.8)
+
+    def test_for_weights_zero_matrix(self):
+        scaler = WeightScaler.for_weights(np.zeros((2, 2)))
+        assert scaler.w_max == 1.0
+
+    def test_write_levels_snap_to_grid(self):
+        scaler = WeightScaler(1.0, write_levels=5)
+        d = scaler.device
+        mags = np.linspace(0, 1, 21)
+        g = scaler.magnitude_to_conductance(mags)
+        fracs = (g - d.g_off) / d.g_range
+        steps = fracs * 4  # 5 levels -> 4 steps
+        assert np.allclose(steps, np.round(steps), atol=1e-9)
+
+    def test_write_levels_preserve_endpoints(self):
+        scaler = WeightScaler(1.0, write_levels=4)
+        d = scaler.device
+        assert scaler.magnitude_to_conductance(0.0) == pytest.approx(
+            d.g_off
+        )
+        assert scaler.magnitude_to_conductance(1.0) == pytest.approx(
+            d.g_on
+        )
+
+    def test_more_levels_reduce_quantisation_error(self, rng):
+        mags = rng.random(500)
+        errors = []
+        for levels in (4, 16, 64):
+            scaler = WeightScaler(1.0, write_levels=levels)
+            g = scaler.magnitude_to_conductance(mags)
+            recovered = scaler.conductance_to_magnitude(g)
+            errors.append(float(np.mean(np.abs(recovered - mags))))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_invalid_write_levels_rejected(self):
+        with pytest.raises(ValueError, match="write_levels"):
+            WeightScaler(1.0, write_levels=1)
+
+    def test_analog_default_is_continuous(self, rng):
+        scaler = WeightScaler(1.0)
+        mags = rng.random(100)
+        g = scaler.magnitude_to_conductance(mags)
+        assert np.allclose(
+            scaler.conductance_to_magnitude(g), mags, atol=1e-12
+        )
+
+    def test_currents_to_outputs_recovers_matvec(self, rng):
+        scaler = WeightScaler(1.0)
+        w = rng.uniform(-1, 1, (6, 3))
+        x = rng.random(6)
+        g_pos, g_neg = scaler.weights_to_pair(w)
+        v_read = 0.7
+        i_pos = v_read * (x @ g_pos)
+        i_neg = v_read * (x @ g_neg)
+        out = scaler.currents_to_outputs(i_pos - i_neg, 0.0, v_read)
+        assert np.allclose(out, x @ w, atol=1e-9)

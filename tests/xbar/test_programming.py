@@ -1,0 +1,130 @@
+"""Tests for open-loop pulse planning and physical execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig, VariationConfig
+from repro.devices.memristor import MemristorArray
+from repro.devices.switching import SwitchingModel
+from repro.xbar.ir_drop import program_factors
+from repro.xbar.programming import execute_plan, plan_programming
+
+
+def ideal_array(shape=(8, 4), seed=0, sigma=0.0):
+    return MemristorArray(
+        shape,
+        variation=VariationConfig(sigma=sigma, sigma_cycle=0.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestPlanProgramming:
+    def test_plan_reaches_targets_on_ideal_devices(self, rng):
+        array = ideal_array()
+        model = array.switching
+        d = array.device
+        target = 10 ** rng.uniform(
+            np.log10(d.g_off * 2), np.log10(d.g_on / 2), (8, 4)
+        )
+        plan = plan_programming(model, array.state, target, r_wire=0.0)
+        achieved = execute_plan(array, plan, rate_variation=False)
+        assert np.allclose(achieved, target, rtol=1e-6)
+
+    def test_polarity_assignment(self):
+        model = SwitchingModel()
+        current = np.array([[0.1, 0.9]])
+        target_g = model.conductance_of(np.array([[0.5, 0.5]]))
+        plan = plan_programming(model, current, target_g)
+        assert plan.polarity[0, 0] == 1  # needs SET
+        assert plan.polarity[0, 1] == -1  # needs RESET
+
+    def test_widths_nonnegative(self, rng):
+        array = ideal_array()
+        model = array.switching
+        d = array.device
+        target = np.full((8, 4), np.sqrt(d.g_on * d.g_off))
+        plan = plan_programming(model, array.state, target)
+        assert np.all(plan.width >= 0)
+
+    def test_shape_mismatch_rejected(self):
+        model = SwitchingModel()
+        with pytest.raises(ValueError, match="shape"):
+            plan_programming(model, np.zeros((2, 2)), np.full((3, 3), 1e-5))
+
+    def test_compensation_stretches_widths(self):
+        model = SwitchingModel()
+        d = model.device
+        current = np.zeros((32, 4))
+        target = np.full((32, 4), d.g_on * 0.5)
+        plain = plan_programming(
+            model, current, target, r_wire=2.5, compensate_ir_drop=False
+        )
+        compensated = plan_programming(
+            model, current, target, r_wire=2.5, compensate_ir_drop=True
+        )
+        assert np.all(compensated.width >= plain.width)
+        assert np.any(compensated.width > plain.width)
+
+
+class TestExecutePlan:
+    def test_compensated_plan_beats_uncompensated_under_ir_drop(self):
+        model = SwitchingModel()
+        d = model.device
+        shape = (48, 4)
+        target = np.full(shape, d.g_on * 0.4)
+
+        def programming_error(compensate: bool) -> float:
+            array = ideal_array(shape)
+            plan = plan_programming(
+                model, array.state, target, r_wire=2.5,
+                compensate_ir_drop=compensate,
+            )
+            factors = program_factors(target, 2.5, d.v_set).combined
+            achieved = execute_plan(
+                array, plan, delivered_factors=factors,
+                rate_variation=False,
+            )
+            return float(np.mean(np.abs(achieved - target) / target))
+
+        assert programming_error(True) < programming_error(False)
+
+    def test_rate_variation_corrupts_results(self):
+        model = SwitchingModel()
+        d = model.device
+        array = ideal_array(sigma=0.5, seed=7)
+        target = np.full((8, 4), np.sqrt(d.g_on * d.g_off))
+        plan = plan_programming(model, array.state, target)
+        achieved = execute_plan(array, plan, rate_variation=True)
+        errors = np.abs(achieved - target) / target
+        assert np.max(errors) > 0.05
+
+    def test_rate_variation_error_correlates_with_theta(self):
+        # Devices with larger |theta| miss their target harder: the
+        # physical pulse path and the paper's abstract lognormal model
+        # agree on which devices are bad.
+        model = SwitchingModel()
+        d = model.device
+        array = ideal_array((64, 4), sigma=0.4, seed=9)
+        target = np.full((64, 4), np.sqrt(d.g_on * d.g_off))
+        plan = plan_programming(model, array.state, target)
+        achieved = execute_plan(array, plan, rate_variation=True)
+        log_error = np.log(achieved / target)
+        corr = np.corrcoef(log_error.ravel(), array.theta.ravel())[0, 1]
+        assert abs(corr) > 0.8
+
+    def test_stuck_cells_unchanged(self):
+        array = MemristorArray(
+            (8, 4),
+            variation=VariationConfig(defect_rate=0.4, sigma_cycle=0.0),
+            rng=np.random.default_rng(3),
+        )
+        stuck = array.is_stuck()
+        assert np.any(stuck)
+        g_before = array.conductance.copy()
+        model = array.switching
+        target = np.full((8, 4), 5e-5)
+        plan = plan_programming(model, array.state, target)
+        achieved = execute_plan(array, plan, rate_variation=False)
+        assert np.allclose(achieved[stuck], g_before[stuck])

@@ -1,0 +1,144 @@
+"""Property-based tests of circuit-level invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.config import CrossbarConfig, VariationConfig
+from repro.xbar.ir_drop import read_output_currents
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.nodal import CrossbarNetwork
+from repro.xbar.pair import DifferentialCrossbar
+
+
+def conductances(rows, cols):
+    return arrays(
+        float,
+        (rows, cols),
+        elements=st.floats(min_value=1e-6, max_value=1e-4),
+    )
+
+
+def input_vectors(n):
+    return arrays(
+        float, (n,), elements=st.floats(min_value=0.0, max_value=1.0)
+    )
+
+
+class TestNodalInvariants:
+    @given(g=conductances(6, 3), x=input_vectors(6))
+    @settings(max_examples=15, deadline=None)
+    def test_passivity_outputs_never_exceed_ideal(self, g, x):
+        # Wire resistance can only lose voltage headroom: every column
+        # current is bounded by the zero-wire ideal.
+        net = CrossbarNetwork(g, 2.5)
+        currents = net.read(x, 1.0)
+        ideal = x @ g
+        assert np.all(currents <= ideal + 1e-15)
+        assert np.all(currents >= -1e-15)
+
+    @given(g=conductances(6, 3), x=input_vectors(6),
+           scale=st.floats(min_value=0.1, max_value=3.0))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_in_drive(self, g, x, scale):
+        # The network is linear in the drive voltages.
+        net = CrossbarNetwork(g, 2.5)
+        assert np.allclose(
+            net.read(x, 1.0) * scale,
+            net.solve(x * scale, 0.0).column_current,
+            rtol=1e-9, atol=1e-18,
+        )
+
+    @given(g=conductances(6, 3), x=input_vectors(6))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_in_conductance(self, g, x):
+        # Raising every conductance cannot reduce any column current
+        # at fixed drive.
+        net_lo = CrossbarNetwork(g, 2.5)
+        net_hi = CrossbarNetwork(g * 1.5, 2.5)
+        lo = net_lo.read(x, 1.0)
+        hi = net_hi.read(x, 1.0)
+        assert np.all(hi >= lo - 1e-15)
+
+    @given(g=conductances(6, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_more_wire_resistance_more_loss(self, g):
+        x = np.ones(6)
+        mild = CrossbarNetwork(g, 1.0).read(x, 1.0)
+        harsh = CrossbarNetwork(g, 10.0).read(x, 1.0)
+        assert np.all(harsh <= mild + 1e-15)
+
+
+class TestFastModelInvariants:
+    @given(g=conductances(8, 4), x=input_vectors(8))
+    @settings(max_examples=15, deadline=None)
+    def test_fixed_point_bounded_by_ideal(self, g, x):
+        out = read_output_currents(g, x, 2.5, 1.0)
+        assert np.all(out <= x @ g + 1e-15)
+        assert np.all(out >= -1e-15)
+
+
+class TestPairInvariants:
+    @given(
+        w=arrays(float, (6, 3),
+                 elements=st.floats(min_value=-1.0, max_value=1.0)),
+        x=input_vectors(6),
+        scale=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_weight_scaling_scales_outputs(self, w, x, scale):
+        # Programming scaled weights scales the (ideal-path) outputs:
+        # the argmax decision is normalisation-invariant.
+        def outputs(weights):
+            pair = DifferentialCrossbar(
+                WeightScaler(1.0),
+                config=CrossbarConfig(rows=6, cols=3, r_wire=0.0),
+                variation=VariationConfig(sigma=0.0, sigma_cycle=0.0),
+                rng=np.random.default_rng(0),
+            )
+            pair.program_weights(weights, with_cycle_noise=False)
+            return pair.matvec(x)
+
+        full = outputs(w)
+        scaled = outputs(w * scale)
+        assert np.allclose(scaled, full * scale, atol=1e-9)
+
+    @given(
+        w=arrays(float, (5, 3),
+                 elements=st.floats(min_value=-1.0, max_value=1.0)),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_negating_weights_negates_outputs(self, w):
+        x = np.full(5, 0.5)
+
+        def outputs(weights):
+            pair = DifferentialCrossbar(
+                WeightScaler(1.0),
+                config=CrossbarConfig(rows=5, cols=3, r_wire=0.0),
+                variation=VariationConfig(sigma=0.0, sigma_cycle=0.0),
+                rng=np.random.default_rng(0),
+            )
+            pair.program_weights(weights, with_cycle_noise=False)
+            return pair.matvec(x)
+
+        assert np.allclose(outputs(-w), -outputs(w), atol=1e-9)
+
+    def test_variation_preserves_sign_of_strong_weights(self, rng):
+        # A lognormal multiplier is positive: it can shrink or grow a
+        # stored weight but never flip its sign (absent the tiny
+        # baseline crosstalk).
+        pair = DifferentialCrossbar(
+            WeightScaler(1.0),
+            config=CrossbarConfig(rows=10, cols=4, r_wire=0.0),
+            variation=VariationConfig(sigma=1.0, sigma_cycle=0.0),
+            rng=np.random.default_rng(8),
+        )
+        w = rng.choice([-0.8, 0.8], size=(10, 4))
+        pair.program_weights(w, with_cycle_noise=False)
+        realised = pair.effective_weights()
+        strong = np.abs(realised) > 0.1
+        assert np.all(np.sign(realised[strong]) == np.sign(w[strong]))

@@ -1,0 +1,73 @@
+"""Tests for sneak-path estimation and pre-test read styles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig
+from repro.xbar.sneak import (
+    floating_row_read,
+    grounded_row_read,
+    sneak_current_estimate,
+)
+
+
+@pytest.fixture
+def device():
+    return DeviceConfig()
+
+
+class TestSneakEstimate:
+    def test_positive_for_conducting_background(self, device):
+        g = np.full((8, 8), device.g_on)
+        assert sneak_current_estimate(g, 0, 0, 1.0) > 0
+
+    def test_grows_with_background_conductance(self, device):
+        g_hrs = np.full((8, 8), device.g_off)
+        g_lrs = np.full((8, 8), device.g_on)
+        assert sneak_current_estimate(g_lrs, 0, 0, 1.0) > (
+            sneak_current_estimate(g_hrs, 0, 0, 1.0)
+        )
+
+    def test_hrs_background_sneak_negligible_vs_selected(self, device):
+        # The pre-test configuration: everything else at HRS.
+        g = np.full((32, 8), device.g_off)
+        g[3, 2] = device.g_on
+        sneak = sneak_current_estimate(g, 3, 2, 1.0)
+        selected = 1.0 * device.g_on
+        assert sneak / selected < 0.1
+
+    def test_single_row_crossbar_has_no_sneak(self, device):
+        g = np.full((1, 8), device.g_on)
+        assert sneak_current_estimate(g, 0, 3, 1.0) == 0.0
+
+    def test_out_of_range_cell_rejected(self, device):
+        g = np.full((4, 4), device.g_off)
+        with pytest.raises(IndexError):
+            sneak_current_estimate(g, 4, 0, 1.0)
+
+
+class TestReadStyles:
+    def test_grounded_read_recovers_cell_conductance(self, device):
+        g = np.full((16, 4), device.g_off)
+        g[5, 1] = 4e-5
+        current = grounded_row_read(g, 5, 1, 1.0, 2.5)
+        assert current == pytest.approx(4e-5, rel=0.05)
+
+    def test_floating_read_biased_by_sneak_at_lrs_background(self, device):
+        g = np.full((16, 4), device.g_on * 0.5)
+        target = grounded_row_read(g, 5, 1, 1.0, 2.5)
+        floating = floating_row_read(g, 5, 1, 1.0, 2.5)
+        # Floating rows let parasitic current into the selected column.
+        assert floating > target
+
+    def test_grounded_read_accuracy_beats_floating_on_hrs(self, device):
+        g = np.full((16, 4), device.g_off)
+        g[2, 3] = 2e-5
+        true_current = 2e-5
+        err_grounded = abs(grounded_row_read(g, 2, 3, 1.0, 2.5)
+                           - true_current)
+        err_floating = abs(floating_row_read(g, 2, 3, 1.0, 2.5)
+                           - true_current)
+        assert err_grounded <= err_floating + 1e-12
