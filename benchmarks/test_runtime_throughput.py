@@ -1,0 +1,99 @@
+"""Runtime-engine throughput: serial vs parallel on a fixed workload.
+
+Times the same Monte-Carlo column workload (the Fig. 2 trial at a
+fixed configuration) through the ``repro.runtime`` executor at
+``jobs=1`` and ``jobs=N``, asserts the two runs are bit-identical (the
+engine's core guarantee), and appends the measurements to a
+``BENCH_runtime.json`` trajectory artifact so the speedup can be
+tracked across revisions.  Skipped when the platform cannot start
+worker processes.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import functools
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2_column import ColumnTrialConfig, _column_trial
+from repro.runtime import map_trials
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+TRIALS = 96
+SEED = 1234
+
+
+def _parallel_jobs() -> int:
+    return min(4, os.cpu_count() or 1)
+
+
+def _workers_available() -> bool:
+    """Whether worker processes can actually start on this platform."""
+    try:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=1) as pool:
+            return pool.submit(int, 1).result(timeout=60) == 1
+    except Exception:
+        return False
+
+
+def _timed(trial, jobs: int) -> tuple[float, np.ndarray]:
+    t0 = time.perf_counter()
+    values = map_trials(trial, TRIALS, seed=SEED, jobs=jobs)
+    return time.perf_counter() - t0, values
+
+
+def test_runtime_throughput():
+    if not _workers_available():
+        pytest.skip("worker processes unavailable on this platform")
+
+    cfg = ColumnTrialConfig(
+        sigma=0.5, n_devices=100, target_current=1e-3, v_read=1.0,
+        adc_bits=6, cld_iterations=60,
+    )
+    trial = functools.partial(_column_trial, cfg=cfg)
+    jobs = _parallel_jobs()
+
+    serial_s, serial_values = _timed(trial, 1)
+    parallel_s, parallel_values = _timed(trial, jobs)
+
+    # The engine's contract: the worker count never changes a value.
+    assert np.array_equal(serial_values, parallel_values)
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "trials": TRIALS,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "serial_trials_per_s": round(TRIALS / serial_s, 1),
+        "parallel_trials_per_s": round(TRIALS / parallel_s, 1),
+    }
+    trajectory = {"runs": []}
+    if BENCH_PATH.exists():
+        try:
+            trajectory = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            pass
+    trajectory.setdefault("runs", []).append(entry)
+    BENCH_PATH.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+
+    print()
+    print("=== runtime throughput (Fig. 2 column workload) ===")
+    print(f"trials           {TRIALS}")
+    print(f"serial           {serial_s:8.3f}s "
+          f"({entry['serial_trials_per_s']} trials/s)")
+    print(f"jobs={jobs:<12d} {parallel_s:8.3f}s "
+          f"({entry['parallel_trials_per_s']} trials/s)")
+    print(f"speedup          {entry['speedup']}x")
+    print(f"trajectory       {BENCH_PATH}")

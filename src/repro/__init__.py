@@ -55,6 +55,7 @@ from repro.core import (
 )
 from repro.data import Dataset, make_dataset
 from repro.nn import LinearClassifier, one_vs_all_targets, train_gdt
+from repro.runtime import RunLog, RuntimeConfig, use_run_log, use_runtime
 from repro.xbar import Crossbar, DifferentialCrossbar, WeightScaler
 
 __version__ = "1.0.0"
@@ -71,6 +72,8 @@ __all__ = [
     "LinearClassifier",
     "OLDConfig",
     "RowMapping",
+    "RunLog",
+    "RuntimeConfig",
     "SelfTuningConfig",
     "SensingConfig",
     "TrainingOutcome",
@@ -92,4 +95,6 @@ __all__ = [
     "train_old",
     "train_vat",
     "tune_gamma",
+    "use_run_log",
+    "use_runtime",
 ]

@@ -15,6 +15,7 @@ from repro.analysis.montecarlo import (
     MonteCarloSummary,
     child_rngs,
     run_monte_carlo,
+    summarize_values,
 )
 from repro.analysis.stats import (
     mean_absolute_deviation,
@@ -38,4 +39,5 @@ __all__ = [
     "rho_bound",
     "run_monte_carlo",
     "summarize_array",
+    "summarize_values",
 ]

@@ -5,24 +5,39 @@ Usage::
     python -m repro report                 # regenerate the evaluation
     python -m repro report --experiments fig2 fig3
     python -m repro report --paper-scale --image-size 28
+    python -m repro report --jobs 8 --cache-dir ~/.cache/repro
     python -m repro quickstart             # end-to-end Vortex demo
 
 The report subcommand regenerates the paper's tables/figures at the
 chosen scale and prints (or writes) the combined text report.
+``--jobs`` fans Monte-Carlo trials out over worker processes without
+changing a single number (the report text is byte-identical at any
+worker count); ``--cache-dir`` persists experiment artifacts so
+unchanged experiments are skipped on re-runs; a timing summary goes to
+stderr and ``--run-log`` saves the full structured log as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.report import EXPERIMENT_RUNNERS, generate_report
+from repro.runtime import RunLog, RuntimeConfig, use_run_log, use_runtime
 
 __all__ = ["main", "build_parser"]
+
+
+def _write_text(path: str | Path, text: str) -> None:
+    """Write UTF-8 text, creating missing parent directories."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text, encoding="utf-8")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +82,32 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--seed", type=int, default=None, help="override the master seed"
     )
+    report.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for Monte-Carlo fan-out (0 = one per "
+            "CPU); results are bit-identical at any value"
+        ),
+    )
+    report.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="persist experiment artifacts here and reuse them on re-runs",
+    )
+    report.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the artifact cache even when --cache-dir is set",
+    )
+    report.add_argument(
+        "--run-log",
+        type=str,
+        default=None,
+        help="write the structured telemetry run log to this JSON file",
+    )
 
     quick = sub.add_parser(
         "quickstart", help="run the end-to-end Vortex pipeline demo"
@@ -89,13 +130,25 @@ def _run_report(args: argparse.Namespace) -> int:
 
         scale = dataclasses.replace(scale, seed=args.seed)
     experiments = tuple(args.experiments) if args.experiments else None
-    text = generate_report(scale, args.image_size, experiments)
+    runtime = RuntimeConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+    )
+    log = RunLog()
+    with use_runtime(runtime), use_run_log(log):
+        text = generate_report(scale, args.image_size, experiments)
     if args.output:
-        with open(args.output, "w") as f:
-            f.write(text)
+        _write_text(args.output, text)
         print(f"report written to {args.output}")
     else:
         print(text)
+    # Wall times are nondeterministic, so they go to stderr / JSON and
+    # never into the report body.
+    print(log.render_timing(), file=sys.stderr)
+    if args.run_log:
+        _write_text(args.run_log, log.to_json())
+        print(f"run log written to {args.run_log}", file=sys.stderr)
     return 0
 
 

@@ -13,6 +13,7 @@ deployment distribution.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Sequence
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.devices.variation import sample_standard_thetas
 from repro.nn.gdt import GDTConfig
 from repro.nn.metrics import rate_from_scores
 from repro.nn.split import stratified_split
+from repro.runtime.executor import parallel_map
 
 __all__ = ["SelfTuningConfig", "GammaScanPoint", "TuneResult", "tune_gamma",
            "injected_rate"]
@@ -101,7 +103,7 @@ def injected_rate(
     labels: np.ndarray,
     sigma: float,
     n_injections: int,
-    rng: np.random.Generator,
+    rng: np.random.Generator | None = None,
     thetas: np.ndarray | None = None,
 ) -> float:
     """Mean classification rate under per-cell lognormal injection.
@@ -123,6 +125,8 @@ def injected_rate(
         raise ValueError(f"n_injections must be >= 1, got {n_injections}")
     x = np.asarray(x, dtype=float)
     if thetas is None:
+        if rng is None:
+            raise ValueError("need an rng when thetas are not supplied")
         thetas = rng.standard_normal((n_injections,) + weights.shape)
     elif thetas.shape != (n_injections,) + weights.shape:
         raise ValueError(
@@ -137,6 +141,46 @@ def injected_rate(
             w_injected = weights
         total += rate_from_scores(x @ w_injected, labels)
     return total / n_injections
+
+
+def _scan_candidate(
+    gamma: float,
+    x_tr: np.ndarray,
+    y_tr: np.ndarray,
+    x_val: np.ndarray,
+    y_val: np.ndarray,
+    n_classes: int,
+    sigma: float,
+    cfg: SelfTuningConfig,
+    thetas: np.ndarray,
+    w_init: np.ndarray | None = None,
+) -> tuple[GammaScanPoint, np.ndarray]:
+    """Train and validate one candidate gamma (pure given its inputs).
+
+    Module-level (rather than a loop body) so the gamma grid -- the
+    hottest inner loop of the Fig. 5 self-tuning flow -- can fan out
+    over the :mod:`repro.runtime` process pool when candidates are
+    independent.  The shared ``thetas`` make the validation a paired
+    comparison and keep the evaluation deterministic, so running
+    candidates in parallel is bit-identical to the serial scan.
+    """
+    vat_cfg = VATConfig(
+        gamma=float(gamma), sigma=sigma, confidence=cfg.confidence,
+        bound=cfg.bound, gdt=cfg.gdt,
+    )
+    outcome = train_vat(x_tr, y_tr, n_classes, vat_cfg, w_init=w_init)
+    clean = rate_from_scores(x_val @ outcome.weights, y_val)
+    injected = injected_rate(
+        outcome.weights, x_val, y_val, sigma, cfg.n_injections,
+        rng=None, thetas=thetas,
+    )
+    point = GammaScanPoint(
+        gamma=float(gamma),
+        training_rate=outcome.training_rate,
+        validation_rate_clean=clean,
+        validation_rate_injected=injected,
+    )
+    return point, outcome.weights
 
 
 def tune_gamma(
@@ -181,37 +225,33 @@ def tune_gamma(
         rng, cfg.distribution, (cfg.n_injections,) + n_weights_shape
     )
 
-    scan: list[GammaScanPoint] = []
+    evaluate = functools.partial(
+        _scan_candidate,
+        x_tr=x_tr, y_tr=y_tr, x_val=x_val, y_val=y_val,
+        n_classes=n_classes, sigma=sigma, cfg=cfg, thetas=thetas,
+    )
     w_prev: np.ndarray | None = None
+    if cfg.warm_start:
+        # Each candidate starts from the previous solution: an
+        # inherently sequential chain, kept in-process.
+        outcomes = []
+        for gamma in cfg.gammas:
+            point, weights = evaluate(gamma, w_init=w_prev)
+            outcomes.append((point, weights))
+            w_prev = weights
+    else:
+        # Independent cold-start candidates: the engine fans the grid
+        # out over workers; shared thetas keep results bit-identical
+        # to the serial scan at any worker count.
+        outcomes = parallel_map(evaluate, cfg.gammas, label="tune_gamma")
+
+    scan = [point for point, _ in outcomes]
     best_gamma = float(cfg.gammas[0])
     best_injected = -np.inf
-    for gamma in cfg.gammas:
-        vat_cfg = VATConfig(
-            gamma=float(gamma), sigma=sigma, confidence=cfg.confidence,
-            bound=cfg.bound, gdt=cfg.gdt,
-        )
-        outcome = train_vat(
-            x_tr, y_tr, n_classes, vat_cfg,
-            w_init=w_prev if cfg.warm_start else None,
-        )
-        if cfg.warm_start:
-            w_prev = outcome.weights
-        clean = rate_from_scores(x_val @ outcome.weights, y_val)
-        injected = injected_rate(
-            outcome.weights, x_val, y_val, sigma, cfg.n_injections, rng,
-            thetas=thetas,
-        )
-        scan.append(
-            GammaScanPoint(
-                gamma=float(gamma),
-                training_rate=outcome.training_rate,
-                validation_rate_clean=clean,
-                validation_rate_injected=injected,
-            )
-        )
-        if injected > best_injected:
-            best_injected = injected
-            best_gamma = float(gamma)
+    for point in scan:
+        if point.validation_rate_injected > best_injected:
+            best_injected = point.validation_rate_injected
+            best_gamma = point.gamma
 
     final_cfg = VATConfig(
         gamma=best_gamma, sigma=sigma, confidence=cfg.confidence,

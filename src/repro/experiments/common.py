@@ -15,6 +15,7 @@ import functools
 
 from repro.data.datasets import Dataset, make_dataset
 from repro.nn.gdt import GDTConfig
+from repro.runtime.cache import get_cache
 
 __all__ = ["ExperimentScale", "get_dataset", "DEFAULT_SEED"]
 
@@ -74,14 +75,45 @@ class ExperimentScale:
 def _cached_dataset(
     n_train: int, n_test: int, seed: int, image_size: int
 ) -> Dataset:
+    # Disk layer below the in-process memo: dataset rendering is
+    # deterministic in its arguments, so the artifact cache can hand a
+    # cold process (or a fresh run) the rendered arrays directly.
+    cache = get_cache()
+    key = ""
+    if cache is not None:
+        key = cache.make_key(
+            "dataset",
+            {
+                "n_train": n_train, "n_test": n_test, "seed": seed,
+                "image_size": image_size,
+            },
+        )
+        stored = cache.get_arrays(key)
+        if stored is not None:
+            return Dataset(
+                x_train=stored["x_train"],
+                y_train=stored["y_train"],
+                x_test=stored["x_test"],
+                y_test=stored["y_test"],
+                image_size=image_size,
+                with_bias=bool(stored["with_bias"]),
+            )
     ds = make_dataset(n_train=n_train, n_test=n_test, seed=seed)
     if image_size != ds.image_size:
         ds = ds.undersampled(image_size)
+    if cache is not None:
+        cache.put_arrays(
+            key,
+            x_train=ds.x_train, y_train=ds.y_train,
+            x_test=ds.x_test, y_test=ds.y_test,
+            with_bias=ds.with_bias,
+        )
     return ds
 
 
 def get_dataset(scale: ExperimentScale, image_size: int = 28) -> Dataset:
-    """Benchmark dataset at the requested scale (memoised).
+    """Benchmark dataset at the requested scale (memoised in-process,
+    persisted via the ambient artifact cache when one is configured).
 
     Args:
         scale: Sample counts and seed.

@@ -11,6 +11,7 @@ holds a small, flat discrepancy bounded only by its sensing resolution.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
@@ -20,7 +21,8 @@ from repro.config import DeviceConfig, VariationConfig
 from repro.devices.memristor import MemristorArray
 from repro.experiments.common import ExperimentScale
 
-__all__ = ["ColumnStudyResult", "run_fig2", "DEFAULT_SIGMAS"]
+__all__ = ["ColumnStudyResult", "ColumnTrialConfig", "run_fig2",
+           "DEFAULT_SIGMAS"]
 
 DEFAULT_SIGMAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 
@@ -55,16 +57,32 @@ class ColumnStudyResult:
         ]
 
 
+@dataclasses.dataclass(frozen=True)
+class ColumnTrialConfig:
+    """Everything that determines one Fig. 2 column trial.
+
+    Frozen so it can serve directly as the artifact-cache key of the
+    Monte-Carlo sweep (see :func:`repro.runtime.cache.stable_key`).
+    """
+
+    sigma: float
+    n_devices: int
+    target_current: float
+    v_read: float
+    adc_bits: int
+    cld_iterations: int
+
+
 def _column_trial(
-    rng: np.random.Generator,
-    sigma: float,
-    n_devices: int,
-    target_current: float,
-    v_read: float,
-    adc_bits: int,
-    cld_iterations: int,
+    rng: np.random.Generator, cfg: ColumnTrialConfig
 ) -> np.ndarray:
     """One fabrication draw: returns (old_error, cld_error)."""
+    sigma = cfg.sigma
+    n_devices = cfg.n_devices
+    target_current = cfg.target_current
+    v_read = cfg.v_read
+    adc_bits = cfg.adc_bits
+    cld_iterations = cfg.cld_iterations
     device = DeviceConfig()
     variation = VariationConfig(sigma=sigma)
     # Uniform target: every device carries an equal share.
@@ -125,13 +143,20 @@ def run_fig2(
     scale = scale if scale is not None else ExperimentScale()
     old_mean, cld_mean, old_std, cld_std = [], [], [], []
     for idx, sigma in enumerate(sigmas):
+        trial_cfg = ColumnTrialConfig(
+            sigma=float(sigma),
+            n_devices=n_devices,
+            target_current=target_current,
+            v_read=v_read,
+            adc_bits=adc_bits,
+            cld_iterations=cld_iterations,
+        )
         summary = run_monte_carlo(
-            lambda rng, s=sigma: _column_trial(
-                rng, s, n_devices, target_current, v_read, adc_bits,
-                cld_iterations,
-            ),
+            functools.partial(_column_trial, cfg=trial_cfg),
             trials=scale.column_mc_trials,
             seed=scale.seed + idx,
+            cache_config=trial_cfg,
+            label=f"fig2[sigma={sigma:g}]",
         )
         old_mean.append(summary.mean[0])
         cld_mean.append(summary.mean[1])

@@ -12,10 +12,11 @@ because the effective variation the computation sees is reduced
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from repro.analysis.montecarlo import child_rngs
+from repro.analysis.montecarlo import run_monte_carlo
 from repro.core.amp import RowMapping
 from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
 from repro.core.greedy import greedy_mapping
@@ -65,6 +66,52 @@ class AMPStudyResult:
         ]
 
 
+def _fig7_trial(
+    rng: np.random.Generator,
+    spec: HardwareSpec,
+    scaler: WeightScaler,
+    weights_per_gamma: list[np.ndarray],
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    x_mean: np.ndarray,
+) -> np.ndarray:
+    """One fabrication draw: (before-AMP, after-AMP) rates per gamma.
+
+    Module-level so the engine can dispatch fabrication trials to
+    worker processes; the generator fully determines the fabricated
+    fabric, so trial values are identical at any worker count.
+    """
+    n = spec.crossbar.rows
+    identity = RowMapping(assignment=np.arange(n), n_physical=n)
+    pair = build_pair(spec, scaler, rng)
+    pretest = pretest_pair(pair, spec.sensing, rng=rng)
+    rates = np.zeros((2, len(weights_per_gamma)))
+    for gi, weights in enumerate(weights_per_gamma):
+        # Before AMP: identity placement.
+        program_pair_open_loop(pair, weights, OLDConfig())
+        rates[0, gi] = hardware_test_rate(
+            pair, x_test, y_test, spec.ir_mode,
+            input_map=identity.inputs_to_physical,
+        )
+        # After AMP: greedy mapping on the measured fabric.
+        swv = swv_pair(
+            weights, pretest.theta_pos, pretest.theta_neg, scaler
+        )
+        order = mapping_order(weights, x_mean)
+        mapping = RowMapping(
+            assignment=greedy_mapping(swv, order), n_physical=n
+        )
+        program_pair_open_loop(
+            pair, mapping.weights_to_physical(weights), OLDConfig(),
+            x_reference=mapping.inputs_to_physical(x_mean),
+        )
+        rates[1, gi] = hardware_test_rate(
+            pair, x_test, y_test, spec.ir_mode,
+            input_map=mapping.inputs_to_physical,
+        )
+    return rates
+
+
 def run_fig7(
     scale: ExperimentScale | None = None,
     sigma: float = 0.6,
@@ -94,7 +141,6 @@ def run_fig7(
     )
     scaler = WeightScaler(1.0)
     x_mean = ds.x_train.mean(axis=0)
-    identity = RowMapping(assignment=np.arange(n), n_physical=n)
 
     # Train once per gamma (shared across fabrication trials).
     outcomes = []
@@ -102,38 +148,19 @@ def run_fig7(
         cfg = VATConfig(gamma=float(gamma), sigma=sigma, gdt=scale.gdt())
         outcomes.append(train_vat(ds.x_train, ds.y_train, N_CLASSES, cfg))
 
-    before = np.zeros(len(scale.gammas))
-    after = np.zeros(len(scale.gammas))
-    rngs = child_rngs(scale.seed + 70, scale.mc_trials)
-    for rng in rngs:
-        pair = build_pair(spec, scaler, rng)
-        pretest = pretest_pair(pair, spec.sensing, rng=rng)
-        for gi, outcome in enumerate(outcomes):
-            weights = outcome.weights
-            # Before AMP: identity placement.
-            program_pair_open_loop(pair, weights, OLDConfig())
-            before[gi] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, spec.ir_mode,
-                input_map=identity.inputs_to_physical,
-            )
-            # After AMP: greedy mapping on the measured fabric.
-            swv = swv_pair(
-                weights, pretest.theta_pos, pretest.theta_neg, scaler
-            )
-            order = mapping_order(weights, x_mean)
-            mapping = RowMapping(
-                assignment=greedy_mapping(swv, order), n_physical=n
-            )
-            program_pair_open_loop(
-                pair, mapping.weights_to_physical(weights), OLDConfig(),
-                x_reference=mapping.inputs_to_physical(x_mean),
-            )
-            after[gi] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, spec.ir_mode,
-                input_map=mapping.inputs_to_physical,
-            )
-    before /= scale.mc_trials
-    after /= scale.mc_trials
+    summary = run_monte_carlo(
+        functools.partial(
+            _fig7_trial,
+            spec=spec, scaler=scaler,
+            weights_per_gamma=[o.weights for o in outcomes],
+            x_test=ds.x_test, y_test=ds.y_test, x_mean=x_mean,
+        ),
+        trials=scale.mc_trials,
+        seed=scale.seed + 70,
+        label="fig7",
+    )
+    before = summary.mean[0]
+    after = summary.mean[1]
 
     gammas = np.asarray(scale.gammas, dtype=float)
     return AMPStudyResult(

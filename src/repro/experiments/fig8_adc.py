@@ -13,10 +13,11 @@ analysis" setup).
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from repro.analysis.montecarlo import child_rngs
+from repro.analysis.montecarlo import run_monte_carlo
 from repro.core.amp import RowMapping
 from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
 from repro.core.greedy import greedy_mapping
@@ -62,6 +63,56 @@ class ADCStudyResult:
         return result
 
 
+def _fig8_trial(
+    rng: np.random.Generator,
+    sigma: float,
+    bits: tuple[int, ...],
+    n: int,
+    weights: np.ndarray,
+    scaler: WeightScaler,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    x_mean: np.ndarray,
+) -> np.ndarray:
+    """One fabrication, measured at every ADC resolution.
+
+    Module-level so the engine can dispatch trials to worker
+    processes; the fabrication seed and every pre-test draw flow from
+    the trial generator, so values are worker-count independent.
+    """
+    rates = np.zeros(len(bits))
+    # One fabrication per trial, measured at every resolution.
+    fab_seed = rng.integers(2**31)
+    for bi, b in enumerate(bits):
+        spec = HardwareSpec(
+            variation=VariationConfig(sigma=sigma),
+            crossbar=CrossbarConfig(
+                rows=n, cols=N_CLASSES, r_wire=0.0
+            ),
+            sensing=SensingConfig(adc_bits=int(b)),
+        )
+        pair = build_pair(
+            spec, scaler, np.random.default_rng(fab_seed)
+        )
+        pretest = pretest_pair(pair, spec.sensing, rng=rng)
+        swv = swv_pair(
+            weights, pretest.theta_pos, pretest.theta_neg, scaler
+        )
+        order = mapping_order(weights, x_mean)
+        mapping = RowMapping(
+            assignment=greedy_mapping(swv, order), n_physical=n
+        )
+        program_pair_open_loop(
+            pair, mapping.weights_to_physical(weights), OLDConfig(),
+            x_reference=mapping.inputs_to_physical(x_mean),
+        )
+        rates[bi] = hardware_test_rate(
+            pair, x_test, y_test, spec.ir_mode,
+            input_map=mapping.inputs_to_physical,
+        )
+    return rates
+
+
 def run_fig8(
     scale: ExperimentScale | None = None,
     bits: tuple[int, ...] = DEFAULT_BITS,
@@ -92,39 +143,18 @@ def run_fig8(
     for si, sigma in enumerate(sigmas):
         cfg = VATConfig(gamma=gamma, sigma=sigma, gdt=scale.gdt())
         outcome = train_vat(ds.x_train, ds.y_train, N_CLASSES, cfg)
-        weights = outcome.weights
-        rngs = child_rngs(scale.seed + 80 + si, scale.mc_trials)
-        for rng in rngs:
-            # One fabrication per trial, measured at every resolution.
-            fab_seed = rng.integers(2**31)
-            for bi, b in enumerate(bits):
-                spec = HardwareSpec(
-                    variation=VariationConfig(sigma=sigma),
-                    crossbar=CrossbarConfig(
-                        rows=n, cols=N_CLASSES, r_wire=0.0
-                    ),
-                    sensing=SensingConfig(adc_bits=int(b)),
-                )
-                pair = build_pair(
-                    spec, scaler, np.random.default_rng(fab_seed)
-                )
-                pretest = pretest_pair(pair, spec.sensing, rng=rng)
-                swv = swv_pair(
-                    weights, pretest.theta_pos, pretest.theta_neg, scaler
-                )
-                order = mapping_order(weights, x_mean)
-                mapping = RowMapping(
-                    assignment=greedy_mapping(swv, order), n_physical=n
-                )
-                program_pair_open_loop(
-                    pair, mapping.weights_to_physical(weights), OLDConfig(),
-                    x_reference=mapping.inputs_to_physical(x_mean),
-                )
-                rates[si, bi] += hardware_test_rate(
-                    pair, ds.x_test, ds.y_test, spec.ir_mode,
-                    input_map=mapping.inputs_to_physical,
-                )
-    rates /= scale.mc_trials
+        summary = run_monte_carlo(
+            functools.partial(
+                _fig8_trial,
+                sigma=float(sigma), bits=tuple(int(b) for b in bits),
+                n=n, weights=outcome.weights, scaler=scaler,
+                x_test=ds.x_test, y_test=ds.y_test, x_mean=x_mean,
+            ),
+            trials=scale.mc_trials,
+            seed=scale.seed + 80 + si,
+            label=f"fig8[sigma={sigma:g}]",
+        )
+        rates[si] = summary.mean
     return ADCStudyResult(
         bits=np.asarray(bits),
         sigmas=np.asarray(sigmas, dtype=float),

@@ -15,10 +15,11 @@ matching the paper's convention.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from repro.analysis.montecarlo import child_rngs
+from repro.analysis.montecarlo import run_monte_carlo
 from repro.analysis.overhead import CostModel
 from repro.core.amp import RowMapping
 from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
@@ -66,6 +67,65 @@ class RedundancyStudyResult:
     vortex_gain_over_old: float
     vortex_gain_over_cld: float
     area_overhead: np.ndarray
+
+
+def _fig9_trial(
+    rng: np.random.Generator,
+    spec: HardwareSpec,
+    scaler: WeightScaler,
+    old_weights: np.ndarray,
+    vortex_weights: np.ndarray,
+    order: np.ndarray,
+    paper_programming: OLDConfig,
+    redundancy: tuple[int, ...],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    x_mean: np.ndarray,
+) -> np.ndarray:
+    """One fabrication draw: ``[OLD, CLD, Vortex(p) ...]`` rates.
+
+    Module-level so the engine can dispatch fabrication trials to
+    worker processes; every stochastic element flows from the trial
+    generator, so values are worker-count independent.
+    """
+    n = spec.crossbar.rows
+    rates = np.zeros(2 + len(redundancy))
+    # --- OLD baseline (p = 0). ---
+    pair = build_pair(spec, scaler, rng)
+    program_pair_open_loop(
+        pair, old_weights, paper_programming, x_reference=x_mean
+    )
+    rates[0] = hardware_test_rate(pair, x_test, y_test, spec.ir_mode)
+    # --- CLD baseline (p = 0). ---
+    pair = build_pair(spec, scaler, rng)
+    train_cld(
+        pair, x_train, y_train, N_CLASSES,
+        CLDConfig(ir_mode_read="ideal"), rng,
+    )
+    rates[1] = hardware_test_rate(pair, x_test, y_test, spec.ir_mode)
+    # --- Vortex at each redundancy level. ---
+    for pi, extra in enumerate(redundancy):
+        pair = build_pair(spec, scaler, rng, rows=n + extra)
+        pretest = pretest_pair(pair, spec.sensing, rng=rng)
+        swv = swv_pair(
+            vortex_weights, pretest.theta_pos, pretest.theta_neg, scaler
+        )
+        mapping = RowMapping(
+            assignment=greedy_mapping(swv, order),
+            n_physical=n + extra,
+        )
+        program_pair_open_loop(
+            pair, mapping.weights_to_physical(vortex_weights),
+            paper_programming,
+            x_reference=mapping.inputs_to_physical(x_mean),
+        )
+        rates[2 + pi] = hardware_test_rate(
+            pair, x_test, y_test, spec.ir_mode,
+            input_map=mapping.inputs_to_physical,
+        )
+    return rates
 
 
 def run_fig9(
@@ -128,48 +188,23 @@ def run_fig9(
         weights = tune.weights
         order = mapping_order(weights, x_mean)
 
-        rngs = child_rngs(scale.seed + 900 + si, scale.mc_trials)
-        for rng in rngs:
-            # --- OLD baseline (p = 0). ---
-            pair = build_pair(spec, scaler, rng)
-            program_pair_open_loop(
-                pair, old_weights, paper_programming, x_reference=x_mean
-            )
-            old_rates[si] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, spec.ir_mode
-            )
-            # --- CLD baseline (p = 0). ---
-            pair = build_pair(spec, scaler, rng)
-            train_cld(
-                pair, ds.x_train, ds.y_train, N_CLASSES,
-                CLDConfig(ir_mode_read="ideal"), rng,
-            )
-            cld_rates[si] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, spec.ir_mode
-            )
-            # --- Vortex at each redundancy level. ---
-            for pi, extra in enumerate(redundancy):
-                pair = build_pair(spec, scaler, rng, rows=n + extra)
-                pretest = pretest_pair(pair, spec.sensing, rng=rng)
-                swv = swv_pair(
-                    weights, pretest.theta_pos, pretest.theta_neg, scaler
-                )
-                mapping = RowMapping(
-                    assignment=greedy_mapping(swv, order),
-                    n_physical=n + extra,
-                )
-                program_pair_open_loop(
-                    pair, mapping.weights_to_physical(weights),
-                    paper_programming,
-                    x_reference=mapping.inputs_to_physical(x_mean),
-                )
-                vortex[si, pi] += hardware_test_rate(
-                    pair, ds.x_test, ds.y_test, spec.ir_mode,
-                    input_map=mapping.inputs_to_physical,
-                )
-    vortex /= scale.mc_trials
-    old_rates /= scale.mc_trials
-    cld_rates /= scale.mc_trials
+        summary = run_monte_carlo(
+            functools.partial(
+                _fig9_trial,
+                spec=spec, scaler=scaler, old_weights=old_weights,
+                vortex_weights=weights, order=order,
+                paper_programming=paper_programming,
+                redundancy=tuple(int(p) for p in redundancy),
+                x_train=ds.x_train, y_train=ds.y_train,
+                x_test=ds.x_test, y_test=ds.y_test, x_mean=x_mean,
+            ),
+            trials=scale.mc_trials,
+            seed=scale.seed + 900 + si,
+            label=f"fig9[sigma={sigma:g}]",
+        )
+        old_rates[si] = summary.mean[0]
+        cld_rates[si] = summary.mean[1]
+        vortex[si] = summary.mean[2:]
 
     cost = CostModel()
     sensing_bits = HardwareSpec().sensing.adc_bits

@@ -4,12 +4,18 @@ Used by the command-line interface (``python -m repro report``) and by
 anyone who wants the whole evaluation regenerated in one call.  Each
 section prints the same rows/series the paper's corresponding table or
 figure reports.
+
+Execution flows through :mod:`repro.runtime`: sections are cached in
+the ambient artifact cache (keyed on experiment name, scale, image
+size and package version), progress and wall times accumulate in the
+ambient run log, and the report body embeds the log's *deterministic*
+view -- what ran and what the cache served, never how fast -- so the
+text is byte-identical at any ``--jobs`` value.
 """
 
 from __future__ import annotations
 
 import io
-import time
 from typing import Callable
 
 from repro.experiments.common import ExperimentScale
@@ -20,6 +26,8 @@ from repro.experiments.fig7_amp import run_fig7
 from repro.experiments.fig8_adc import run_fig8
 from repro.experiments.fig9_redundancy import run_fig9
 from repro.experiments.table1_sizes import run_table1
+from repro.runtime.cache import get_cache
+from repro.runtime.telemetry import RunLog, current_run_log, use_run_log
 
 __all__ = ["generate_report", "EXPERIMENT_RUNNERS"]
 
@@ -140,10 +148,36 @@ _TITLES = {
 }
 
 
+def _render_section(
+    name: str, scale: ExperimentScale, image_size: int, log: RunLog
+) -> str:
+    """One section's body, via the artifact cache when possible."""
+    cache = get_cache()
+    key = ""
+    if cache is not None:
+        key = cache.make_key(
+            "section",
+            {"name": name, "scale": scale, "image_size": image_size},
+        )
+        with log.time_experiment(name) as record:
+            record.cache_key = key
+            stored = cache.get_json(key)
+            if stored is not None:
+                record.cache_hit = True
+                return stored["text"]
+            body = EXPERIMENT_RUNNERS[name](scale, image_size)
+            cache.put_json(key, {"text": body})
+        return body
+    with log.time_experiment(name) as record:
+        record.cache_key = key
+        return EXPERIMENT_RUNNERS[name](scale, image_size)
+
+
 def generate_report(
     scale: ExperimentScale | None = None,
     image_size: int = 14,
     experiments: tuple[str, ...] | None = None,
+    run_log: RunLog | None = None,
 ) -> str:
     """Run the selected experiments and render one combined report.
 
@@ -152,6 +186,10 @@ def generate_report(
         image_size: Benchmark resolution for the network experiments.
         experiments: Subset of :data:`EXPERIMENT_RUNNERS` keys; all of
             them when omitted.
+        run_log: Telemetry sink; falls back to the ambient run log, or
+            a private one.  Its deterministic summary is embedded as
+            the report's final section; wall times stay out of the
+            body so the text is identical at any worker count.
 
     Returns:
         The report text.
@@ -166,6 +204,9 @@ def generate_report(
             f"unknown experiments {sorted(unknown)}; available: "
             f"{sorted(EXPERIMENT_RUNNERS)}"
         )
+    log = run_log if run_log is not None else current_run_log()
+    if log is None:
+        log = RunLog()
     out = io.StringIO()
     out.write("Vortex reproduction - evaluation report\n")
     out.write(
@@ -173,11 +214,14 @@ def generate_report(
         f"{scale.mc_trials} fabrication draws, {image_size}x{image_size} "
         "images)\n"
     )
-    for name in names:
-        t0 = time.perf_counter()
-        body = EXPERIMENT_RUNNERS[name](scale, image_size)
-        elapsed = time.perf_counter() - t0
-        out.write(f"\n=== {_TITLES[name]} ===\n")
-        out.write(body)
-        out.write(f"[{elapsed:.1f}s]\n")
+    # Install the log as ambient so Monte-Carlo dispatches deep inside
+    # the drivers record their batches into the same place.
+    with use_run_log(log):
+        for name in names:
+            body = _render_section(name, scale, image_size, log)
+            out.write(f"\n=== {_TITLES[name]} ===\n")
+            out.write(body)
+    out.write("\n=== run log ===\n")
+    out.write(log.render_summary())
+    out.write("\n")
     return out.getvalue()

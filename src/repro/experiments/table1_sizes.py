@@ -24,10 +24,11 @@ bench.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
-from repro.analysis.montecarlo import child_rngs
+from repro.analysis.montecarlo import run_monte_carlo
 from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
 from repro.core.cld import CLDConfig, train_cld
 from repro.core.old import OLDConfig
@@ -94,6 +95,51 @@ class SizeStudyResult:
         return "\n".join(lines)
 
 
+def _table1_trial(
+    rng: np.random.Generator,
+    spec_ir: HardwareSpec,
+    spec_ideal: HardwareSpec,
+    vortex_cfg: VortexConfig,
+    scaler: WeightScaler,
+    redundancy: int,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+) -> np.ndarray:
+    """One fabrication draw at one crossbar size.
+
+    Returns ``[train, test]`` rate pairs for the three schemes in
+    :data:`SCHEMES` order, flattened to shape ``(6,)``.  Module-level
+    so the engine can dispatch trials to worker processes.
+    """
+    n = spec_ir.crossbar.rows
+    rates = np.zeros(6)
+    # --- CLD with IR-drop (programming-path skew). ---
+    pair = build_pair(spec_ir, scaler, rng)
+    outcome = train_cld(
+        pair, x_train, y_train, N_CLASSES,
+        CLDConfig(ir_mode_read="ideal"), rng,
+    )
+    rates[0] = outcome.training_rate
+    rates[1] = hardware_test_rate(pair, x_test, y_test, "ideal")
+    # --- Vortex with IR-drop (+ redundancy). ---
+    pair = build_pair(spec_ir, scaler, rng, rows=n + redundancy)
+    result = run_vortex(pair, x_train, y_train, N_CLASSES, vortex_cfg, rng)
+    rates[2] = rate_from_scores(x_train @ result.weights, y_train)
+    rates[3] = result.test_rate(pair, x_test, y_test, "ideal")
+    # --- CLD without IR-drop. ---
+    pair = build_pair(spec_ideal, scaler, rng)
+    outcome = train_cld(
+        pair, x_train, y_train, N_CLASSES,
+        CLDConfig(ir_drop_in_programming=False, ir_mode_read="ideal"),
+        rng,
+    )
+    rates[4] = outcome.training_rate
+    rates[5] = hardware_test_rate(pair, x_test, y_test, "ideal")
+    return rates
+
+
 def run_table1(
     scale: ExperimentScale | None = None,
     image_sizes: tuple[int, ...] = DEFAULT_IMAGE_SIZES,
@@ -150,44 +196,22 @@ def run_table1(
             ),
             integrate=False,
         )
-        rngs = child_rngs(scale.seed + 10 + zi, scale.mc_trials)
-        for rng in rngs:
-            # --- CLD with IR-drop (programming-path skew). ---
-            pair = build_pair(spec_ir, scaler, rng)
-            outcome = train_cld(
-                pair, ds.x_train, ds.y_train, N_CLASSES,
-                CLDConfig(ir_mode_read="ideal"), rng,
-            )
-            train["cld_ir"][zi] += outcome.training_rate
-            test["cld_ir"][zi] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, "ideal"
-            )
-            # --- Vortex with IR-drop (+ redundancy). ---
-            pair = build_pair(spec_ir, scaler, rng, rows=n + redundancy)
-            result = run_vortex(
-                pair, ds.x_train, ds.y_train, N_CLASSES, vortex_cfg, rng
-            )
-            train["vortex_ir"][zi] += rate_from_scores(
-                ds.x_train @ result.weights, ds.y_train
-            )
-            test["vortex_ir"][zi] += result.test_rate(
-                pair, ds.x_test, ds.y_test, "ideal"
-            )
-            # --- CLD without IR-drop. ---
-            pair = build_pair(spec_ideal, scaler, rng)
-            outcome = train_cld(
-                pair, ds.x_train, ds.y_train, N_CLASSES,
-                CLDConfig(ir_drop_in_programming=False,
-                          ir_mode_read="ideal"),
-                rng,
-            )
-            train["cld_no_ir"][zi] += outcome.training_rate
-            test["cld_no_ir"][zi] += hardware_test_rate(
-                pair, ds.x_test, ds.y_test, "ideal"
-            )
-    for k in SCHEMES:
-        test[k] /= scale.mc_trials
-        train[k] /= scale.mc_trials
+        summary = run_monte_carlo(
+            functools.partial(
+                _table1_trial,
+                spec_ir=spec_ir, spec_ideal=spec_ideal,
+                vortex_cfg=vortex_cfg, scaler=scaler,
+                redundancy=redundancy,
+                x_train=ds.x_train, y_train=ds.y_train,
+                x_test=ds.x_test, y_test=ds.y_test,
+            ),
+            trials=scale.mc_trials,
+            seed=scale.seed + 10 + zi,
+            label=f"table1[{size}x{size}]",
+        )
+        for ki, k in enumerate(SCHEMES):
+            train[k][zi] = summary.mean[2 * ki]
+            test[k][zi] = summary.mean[2 * ki + 1]
     return SizeStudyResult(
         image_sizes=np.asarray(image_sizes),
         rows=np.asarray(rows),

@@ -1,0 +1,204 @@
+"""Persistent artifact cache keyed on stable configuration hashes.
+
+Re-running ``python -m repro report`` recomputes every experiment from
+scratch even when nothing changed.  This cache closes that gap: a
+result is stored under a key derived from everything that determines
+it -- the trial configuration (typically a frozen dataclass), the
+master seed, the trial count and the package version -- so a re-run
+with identical inputs is a pure read, while *any* change to the
+configuration or an upgrade of the package silently invalidates the
+entry by changing its key.
+
+Two payload shapes cover everything the engine produces: JSON
+documents (report sections, metadata) and ``.npz`` array bundles
+(Monte-Carlo value arrays).  Entries are written atomically (temp file
++ rename) so a crashed run never leaves a truncated artifact behind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["stable_key", "ArtifactCache", "get_cache"]
+
+# Bump when the on-disk layout or hashing scheme changes; part of every
+# key, so old layouts are abandoned rather than misread.
+_FORMAT_VERSION = 1
+
+
+def _package_version() -> str:
+    # Lazy: repro/__init__ defines __version__ after its re-exports, so
+    # reading it at import time would race package initialisation.
+    import repro
+
+    return getattr(repro, "__version__", "0")
+
+
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to JSON-stable primitives for hashing.
+
+    Dataclasses hash as ``{class name: {field: value}}`` so two config
+    types with identical fields cannot collide; arrays hash by shape
+    and exact contents; floats keep full precision via ``repr``.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            type(obj).__name__: {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            }
+        }
+    if isinstance(obj, Mapping):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(
+                np.ascontiguousarray(obj).tobytes()
+            ).hexdigest(),
+            "shape": list(obj.shape),
+            "dtype": str(obj.dtype),
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        # repr round-trips doubles exactly; 0.1 != 0.1000000001.
+        return repr(float(obj))
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    raise TypeError(
+        f"cannot build a stable cache key from {type(obj).__name__!r}; "
+        "use dataclasses, mappings, sequences, scalars or arrays"
+    )
+
+
+def stable_key(kind: str, config: Any, version: str | None = None) -> str:
+    """Deterministic hex key for an artifact.
+
+    Args:
+        kind: Artifact namespace (``"montecarlo"``, ``"section"``...).
+        config: Everything that determines the result -- typically a
+            dict of {config dataclass, seed, trials}.
+        version: Package version baked into the key (the installed
+            :data:`repro.__version__` when omitted), so upgrades
+            invalidate every prior artifact.
+    """
+    payload = {
+        "kind": kind,
+        "config": _canonical(config),
+        "version": version if version is not None else _package_version(),
+        "format": _FORMAT_VERSION,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ArtifactCache:
+    """Directory-backed artifact store with hit/miss accounting.
+
+    Attributes:
+        root: Cache directory (created lazily on first write).
+        hits: Successful reads this process.
+        misses: Failed reads this process.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArtifactCache(root={str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+    def make_key(
+        self, kind: str, config: Any, version: str | None = None
+    ) -> str:
+        """See :func:`stable_key`."""
+        return stable_key(kind, config, version)
+
+    def _path(self, key: str, suffix: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable.
+        return self.root / key[:2] / f"{key}{suffix}"
+
+    def _atomic_write(self, path: Path, write) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as f:
+                write(f)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- JSON payloads -------------------------------------------------
+    def get_json(self, key: str) -> Any | None:
+        """The stored document, or ``None`` on a miss."""
+        path = self._path(key, ".json")
+        try:
+            with open(path, encoding="utf-8") as f:
+                value = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put_json(self, key: str, obj: Any) -> Path:
+        """Persist a JSON-serialisable document under ``key``."""
+        path = self._path(key, ".json")
+        blob = json.dumps(obj, sort_keys=True).encode("utf-8")
+        self._atomic_write(path, lambda f: f.write(blob))
+        return path
+
+    # -- array payloads ------------------------------------------------
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """The stored array bundle, or ``None`` on a miss."""
+        path = self._path(key, ".npz")
+        try:
+            with np.load(path) as npz:
+                value = {name: npz[name] for name in npz.files}
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put_arrays(self, key: str, **arrays: np.ndarray) -> Path:
+        """Persist named arrays under ``key`` (compressed ``.npz``)."""
+        path = self._path(key, ".npz")
+        self._atomic_write(
+            path, lambda f: np.savez_compressed(f, **arrays)
+        )
+        return path
+
+
+def get_cache() -> ArtifactCache | None:
+    """The cache implied by the ambient runtime config, if any.
+
+    Returns ``None`` when no ``cache_dir`` is configured or caching is
+    disabled, so call sites can use ``if cache := get_cache():``.
+    """
+    from repro.runtime.config import current_runtime
+
+    cfg = current_runtime()
+    if cfg.cache_dir is None or not cfg.use_cache:
+        return None
+    return ArtifactCache(cfg.cache_dir)

@@ -1,0 +1,247 @@
+"""Deterministic parallel execution of Monte-Carlo trials.
+
+The engine fans trials out over a :class:`~concurrent.futures.\
+ProcessPoolExecutor` in fixed index chunks while keeping one invariant
+absolute: **the worker count can never change a result**.  Trial ``i``
+always runs against the generator spawned at position ``i`` of the
+master ``SeedSequence`` tree -- the executor constructs it directly as
+``SeedSequence(entropy=seed, spawn_key=(i,))``, which NumPy guarantees
+equals ``SeedSequence(seed).spawn(n)[i]`` -- and results are
+reassembled in index order.  ``jobs=1`` and ``jobs=8`` therefore
+produce bit-identical value arrays, and the serial path spawns
+generators lazily chunk by chunk, so memory stays flat at large trial
+counts.
+
+Two entry points:
+
+* :func:`map_trials` -- the Monte-Carlo primitive: run
+  ``trial(rng)`` for ``trials`` independent draws, return the stacked
+  value array.
+* :func:`parallel_map` -- order-preserving map over independent
+  *deterministic* tasks (the gamma grid of the self-tuning loop, the
+  per-gamma training of the Fig. 4 sweep).
+
+Both fall back to in-process execution when the callable cannot be
+pickled (e.g. a closure), when only one worker is requested, or when
+the platform cannot start worker processes -- parallelism is an
+optimisation here, never a requirement.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+import time
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.runtime.config import current_runtime, resolve_jobs
+from repro.runtime.telemetry import current_run_log
+
+__all__ = [
+    "trial_seed_sequence",
+    "chunk_bounds",
+    "map_trials",
+    "parallel_map",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+TrialFn = Callable[[np.random.Generator], Any]
+
+# Upper bound on trials per worker task: small enough for progress
+# reporting and load balancing, large enough to amortise dispatch.
+_MAX_CHUNK = 64
+
+
+def trial_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """The seed sequence of trial ``index`` under master ``seed``.
+
+    Identical to ``np.random.SeedSequence(seed).spawn(n)[index]`` for
+    any ``n > index``, but O(1): children of a fresh parent carry
+    ``spawn_key=(index,)``, so they can be constructed directly without
+    materialising the whole spawn tree.  This is what lets workers (and
+    the lazy serial path) derive exactly the generators the original
+    all-up-front implementation used.
+    """
+    if index < 0:
+        raise ValueError(f"index must be >= 0, got {index}")
+    return np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+
+
+def trial_rng(seed: int, index: int) -> np.random.Generator:
+    """The dedicated generator of trial ``index`` under ``seed``."""
+    return np.random.default_rng(trial_seed_sequence(seed, index))
+
+
+def chunk_bounds(
+    trials: int, jobs: int, chunk_size: int | None = None
+) -> list[tuple[int, int]]:
+    """Deterministic ``[start, stop)`` index ranges covering all trials.
+
+    The partition depends only on ``trials`` and the requested chunk
+    size -- never on scheduling -- so the same work decomposition is
+    replayed on every run.
+    """
+    if chunk_size is None:
+        # A few chunks per worker balances load without tiny tasks.
+        chunk_size = max(1, min(_MAX_CHUNK, -(-trials // (jobs * 4))))
+    return [
+        (start, min(start + chunk_size, trials))
+        for start in range(0, trials, chunk_size)
+    ]
+
+
+def _run_chunk(
+    trial: TrialFn, seed: int, start: int, stop: int
+) -> list[np.ndarray]:
+    """Run trials ``start..stop`` with their dedicated generators."""
+    return [
+        np.asarray(trial(trial_rng(seed, i)), dtype=float)
+        for i in range(start, stop)
+    ]
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+def map_trials(
+    trial: TrialFn,
+    trials: int,
+    seed: int = 0,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    label: str = "montecarlo",
+) -> np.ndarray:
+    """Run ``trial`` over independent draws; stack the per-trial values.
+
+    Args:
+        trial: Callable receiving a dedicated generator.  Must be
+            picklable (a module-level function or ``functools.partial``
+            of one) to actually run in worker processes; closures fall
+            back to serial execution.
+        trials: Number of independent repetitions (>= 1).
+        seed: Master seed of the spawn tree.
+        jobs: Worker processes; ``None`` reads the ambient
+            :class:`~repro.runtime.config.RuntimeConfig`, ``0`` means
+            one per CPU.  Any value yields bit-identical results.
+        chunk_size: Trials per worker task; ``None`` auto-sizes.
+        label: Telemetry label for the run log.
+
+    Returns:
+        Array of shape ``(trials,) + value_shape``.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    jobs = resolve_jobs(jobs)
+    if chunk_size is None:
+        chunk_size = current_runtime().chunk_size
+    log = current_run_log()
+    bounds = chunk_bounds(trials, jobs, chunk_size)
+
+    t0 = time.perf_counter()
+    chunks: list[list[np.ndarray]]
+    if jobs > 1 and trials > 1 and _is_picklable(trial):
+        chunks = _map_chunks_parallel(trial, seed, bounds, jobs, label)
+    else:
+        chunks = []
+        done = 0
+        for start, stop in bounds:
+            chunks.append(_run_chunk(trial, seed, start, stop))
+            done += stop - start
+            if log is not None:
+                log.report_progress(label, done, trials)
+    values = np.asarray([v for chunk in chunks for v in chunk])
+    if log is not None:
+        log.record_batch(
+            label, trials, time.perf_counter() - t0, jobs
+        )
+    return values
+
+
+def _map_chunks_parallel(
+    trial: TrialFn,
+    seed: int,
+    bounds: Sequence[tuple[int, int]],
+    jobs: int,
+    label: str,
+) -> list[list[np.ndarray]]:
+    """Fan chunks out over worker processes, reassemble in order."""
+    log = current_run_log()
+    total = bounds[-1][1] if bounds else 0
+    try:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, len(bounds))
+        ) as pool:
+            futures = [
+                pool.submit(_run_chunk, trial, seed, start, stop)
+                for start, stop in bounds
+            ]
+            done = 0
+            for future, (start, stop) in zip(futures, bounds):
+                # Await in submission order: completion order varies
+                # run to run, assembly order must not.
+                future.result()
+                done += stop - start
+                if log is not None:
+                    log.report_progress(label, done, total)
+            return [f.result() for f in futures]
+    except (OSError, PermissionError):
+        # Platforms without working process pools (e.g. missing
+        # /dev/shm semaphores) degrade to the serial path.
+        return [_run_chunk(trial, seed, start, stop) for start, stop in bounds]
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int | None = None,
+    label: str = "tasks",
+) -> list[R]:
+    """Order-preserving map over independent deterministic tasks.
+
+    Only sound for pure functions: results must not depend on execution
+    order or shared mutable state, which is exactly what makes the
+    output independent of ``jobs``.  Falls back to a plain in-process
+    map when ``jobs == 1``, when ``fn`` (or an item) is unpicklable, or
+    when worker processes cannot start.
+
+    Args:
+        fn: Pure function applied to every item.
+        items: Task inputs (materialised up front).
+        jobs: Worker processes; ``None`` reads the ambient config.
+        label: Telemetry label for the run log.
+
+    Returns:
+        ``[fn(item) for item in items]``, in input order.
+    """
+    seq = list(items)
+    jobs = resolve_jobs(jobs)
+    log = current_run_log()
+    t0 = time.perf_counter()
+    results: list[R]
+    if (
+        jobs > 1
+        and len(seq) > 1
+        and _is_picklable(fn)
+        and all(_is_picklable(item) for item in seq)
+    ):
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(seq))
+            ) as pool:
+                results = list(pool.map(fn, seq))
+        except (OSError, PermissionError):
+            results = [fn(item) for item in seq]
+    else:
+        results = [fn(item) for item in seq]
+    if log is not None:
+        log.record_batch(label, len(seq), time.perf_counter() - t0, jobs)
+    return results

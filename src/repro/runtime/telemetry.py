@@ -1,0 +1,239 @@
+"""Observability for the execution engine: run logs and progress.
+
+Two kinds of records accumulate while a report (or any engine-driven
+workload) runs:
+
+* :class:`TrialBatch` -- one per Monte-Carlo dispatch, with trial
+  count, wall time, worker count and throughput.
+* :class:`ExperimentRecord` -- one per report section, with wall time
+  and whether the artifact cache served it.
+
+The records split into a *deterministic* view (``render_summary``:
+names, trial counts, cache status -- safe to embed in the report text,
+which must be byte-identical across worker counts) and a *timing* view
+(``render_timing`` / ``to_json``: wall times and throughput, emitted
+on stderr or to a JSON file where nondeterminism is fine).
+
+Like the runtime configuration, the active :class:`RunLog` travels
+through a context variable so deep call sites can record into it
+without signature changes.  When no log is installed, recording is a
+cheap no-op on a throwaway default.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import json
+import time
+from typing import Callable, Iterator
+
+__all__ = [
+    "TrialBatch",
+    "ExperimentRecord",
+    "RunLog",
+    "current_run_log",
+    "use_run_log",
+]
+
+ProgressCallback = Callable[[str, int, int], None]
+
+
+@dataclasses.dataclass
+class TrialBatch:
+    """Telemetry for one Monte-Carlo dispatch.
+
+    Attributes:
+        label: Caller-supplied name of the workload.
+        trials: Trials executed (0 when served from cache).
+        seconds: Wall time of the dispatch.
+        jobs: Worker processes used (1 = serial in-process).
+        cache_hit: Whether the artifact cache supplied the result.
+    """
+
+    label: str
+    trials: int
+    seconds: float
+    jobs: int
+    cache_hit: bool = False
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.seconds <= 0.0 or self.trials == 0:
+            return 0.0
+        return self.trials / self.seconds
+
+
+@dataclasses.dataclass
+class ExperimentRecord:
+    """Telemetry for one report section.
+
+    Attributes:
+        name: Experiment key (``fig2`` ... ``table1``).
+        seconds: Wall time spent producing the section.
+        cache_hit: Whether the section came from the artifact cache.
+        cache_key: Stable artifact key (empty when caching is off).
+    """
+
+    name: str
+    seconds: float
+    cache_hit: bool
+    cache_key: str = ""
+
+
+@dataclasses.dataclass
+class RunLog:
+    """Structured log of one engine run.
+
+    Attributes:
+        experiments: Section records, in execution order.
+        batches: Monte-Carlo dispatch records, in execution order.
+        progress: Optional callback ``(label, done, total)`` invoked as
+            trial chunks complete.
+    """
+
+    experiments: list[ExperimentRecord] = dataclasses.field(
+        default_factory=list
+    )
+    batches: list[TrialBatch] = dataclasses.field(default_factory=list)
+    progress: ProgressCallback | None = None
+
+    # -- recording -----------------------------------------------------
+    def record_experiment(
+        self,
+        name: str,
+        seconds: float,
+        cache_hit: bool,
+        cache_key: str = "",
+    ) -> ExperimentRecord:
+        record = ExperimentRecord(
+            name=name, seconds=seconds, cache_hit=cache_hit,
+            cache_key=cache_key,
+        )
+        self.experiments.append(record)
+        return record
+
+    def record_batch(
+        self,
+        label: str,
+        trials: int,
+        seconds: float,
+        jobs: int,
+        cache_hit: bool = False,
+    ) -> TrialBatch:
+        batch = TrialBatch(
+            label=label, trials=trials, seconds=seconds, jobs=jobs,
+            cache_hit=cache_hit,
+        )
+        self.batches.append(batch)
+        return batch
+
+    def report_progress(self, label: str, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(label, done, total)
+
+    @contextlib.contextmanager
+    def time_experiment(self, name: str) -> Iterator[ExperimentRecord]:
+        """Time a section; the yielded record is appended on exit."""
+        record = ExperimentRecord(
+            name=name, seconds=0.0, cache_hit=False
+        )
+        t0 = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - t0
+            self.experiments.append(record)
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def recomputed_experiments(self) -> int:
+        """Sections actually executed (the cache-hit ones excluded)."""
+        return sum(1 for r in self.experiments if not r.cache_hit)
+
+    @property
+    def cached_experiments(self) -> int:
+        return sum(1 for r in self.experiments if r.cache_hit)
+
+    @property
+    def total_trials(self) -> int:
+        return sum(b.trials for b in self.batches)
+
+    # -- rendering -----------------------------------------------------
+    def render_summary(self) -> str:
+        """Deterministic run-log section (no wall times).
+
+        Safe to embed in the report body: for a fixed cache state the
+        text depends only on what ran and what the cache served, never
+        on how fast it ran or how many workers ran it.
+        """
+        lines = []
+        for r in self.experiments:
+            status = "cached" if r.cache_hit else "computed"
+            key = f"  key={r.cache_key[:12]}" if r.cache_key else ""
+            lines.append(f"{r.name:<8s} {status:<8s}{key}")
+        lines.append(
+            f"({len(self.experiments)} experiments: "
+            f"{self.recomputed_experiments} computed, "
+            f"{self.cached_experiments} cached)"
+        )
+        return "\n".join(lines)
+
+    def render_timing(self) -> str:
+        """Wall-time view for stderr (not embedded in the report)."""
+        lines = []
+        for r in self.experiments:
+            status = "cached" if r.cache_hit else "computed"
+            lines.append(f"{r.name:<8s} {r.seconds:8.2f}s  {status}")
+        for b in self.batches:
+            rate = (
+                f"{b.trials_per_second:9.1f} trials/s"
+                if b.trials else "    (cache)"
+            )
+            lines.append(
+                f"  mc {b.label:<24s} {b.trials:6d} trials "
+                f"{b.seconds:8.2f}s  jobs={b.jobs} {rate}"
+            )
+        total = sum(r.seconds for r in self.experiments)
+        lines.append(
+            f"total {total:.2f}s over {len(self.experiments)} experiments, "
+            f"{self.total_trials} Monte-Carlo trials"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Structured run log (one JSON document)."""
+        return json.dumps(
+            {
+                "experiments": [
+                    dataclasses.asdict(r) for r in self.experiments
+                ],
+                "batches": [dataclasses.asdict(b) for b in self.batches],
+                "recomputed_experiments": self.recomputed_experiments,
+                "cached_experiments": self.cached_experiments,
+                "total_trials": self.total_trials,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+_CURRENT: contextvars.ContextVar[RunLog | None] = contextvars.ContextVar(
+    "repro_run_log", default=None
+)
+
+
+def current_run_log() -> RunLog | None:
+    """The ambient :class:`RunLog`, or ``None`` when not observing."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_run_log(log: RunLog) -> Iterator[RunLog]:
+    """Install ``log`` as the ambient run log for a ``with`` block."""
+    token = _CURRENT.set(log)
+    try:
+        yield log
+    finally:
+        _CURRENT.reset(token)

@@ -2,10 +2,14 @@
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+
 import numpy as np
 import pytest
 
 from repro.analysis.montecarlo import child_rngs, run_monte_carlo
+from repro.runtime import RunLog, RuntimeConfig, use_run_log, use_runtime
 
 
 class TestChildRngs:
@@ -57,3 +61,98 @@ class TestRunMonteCarlo:
     def test_single_trial_std_zero_division_safe(self):
         summary = run_monte_carlo(lambda rng: 1.0, trials=1, seed=0)
         assert summary.std == 0.0
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_monte_carlo(lambda rng: rng.random(), trials=0)
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_monte_carlo(lambda rng: rng.random(), trials=-3)
+
+
+def _mc_trial(rng: np.random.Generator, scale: float = 1.0):
+    return rng.normal(size=2) * scale
+
+
+@dataclasses.dataclass(frozen=True)
+class _TrialConfig:
+    scale: float = 1.0
+
+
+class TestParallelDeterminism:
+    def test_values_identical_at_jobs_1_2_4(self):
+        trial = functools.partial(_mc_trial, scale=3.0)
+        baseline = run_monte_carlo(trial, trials=25, seed=17, jobs=1)
+        for jobs in (2, 4):
+            summary = run_monte_carlo(trial, trials=25, seed=17,
+                                      jobs=jobs)
+            assert np.array_equal(baseline.values, summary.values)
+            assert np.array_equal(baseline.mean, summary.mean)
+            assert np.array_equal(baseline.std, summary.std)
+
+    def test_matches_serial_child_rngs_derivation(self):
+        # The engine must reproduce the original all-up-front spawn
+        # tree exactly, so pre-engine results stay valid.
+        summary = run_monte_carlo(
+            functools.partial(_mc_trial), trials=12, seed=5, jobs=2
+        )
+        legacy = np.asarray([_mc_trial(rng) for rng in child_rngs(5, 12)])
+        assert np.array_equal(summary.values, legacy)
+
+    def test_ambient_jobs_do_not_change_values(self):
+        trial = functools.partial(_mc_trial)
+        baseline = run_monte_carlo(trial, trials=9, seed=4)
+        with use_runtime(RuntimeConfig(jobs=2)):
+            ambient = run_monte_carlo(trial, trials=9, seed=4)
+        assert np.array_equal(baseline.values, ambient.values)
+
+
+class TestArtifactCaching:
+    def test_miss_then_hit(self, tmp_path):
+        trial = functools.partial(_mc_trial, scale=2.0)
+        cfg = _TrialConfig(scale=2.0)
+        log = RunLog()
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)), \
+                use_run_log(log):
+            first = run_monte_carlo(trial, trials=8, seed=3,
+                                    cache_config=cfg)
+            second = run_monte_carlo(trial, trials=8, seed=3,
+                                     cache_config=cfg)
+        assert np.array_equal(first.values, second.values)
+        assert [b.cache_hit for b in log.batches] == [False, True]
+        # The hit executed zero trials.
+        assert log.batches[1].trials == 0
+
+    def test_config_change_invalidates(self, tmp_path):
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)):
+            run_monte_carlo(functools.partial(_mc_trial, scale=2.0),
+                            trials=8, seed=3,
+                            cache_config=_TrialConfig(scale=2.0))
+            log = RunLog()
+            with use_run_log(log):
+                run_monte_carlo(functools.partial(_mc_trial, scale=4.0),
+                                trials=8, seed=3,
+                                cache_config=_TrialConfig(scale=4.0))
+        assert [b.cache_hit for b in log.batches] == [False]
+
+    def test_seed_and_trials_invalidate(self, tmp_path):
+        trial = functools.partial(_mc_trial)
+        cfg = _TrialConfig()
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)):
+            run_monte_carlo(trial, trials=8, seed=3, cache_config=cfg)
+            log = RunLog()
+            with use_run_log(log):
+                run_monte_carlo(trial, trials=8, seed=4, cache_config=cfg)
+                run_monte_carlo(trial, trials=9, seed=3, cache_config=cfg)
+        assert [b.cache_hit for b in log.batches] == [False, False]
+
+    def test_no_cache_without_config(self, tmp_path):
+        log = RunLog()
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)), \
+                use_run_log(log):
+            run_monte_carlo(functools.partial(_mc_trial), trials=4,
+                            seed=0)
+            run_monte_carlo(functools.partial(_mc_trial), trials=4,
+                            seed=0)
+        assert [b.cache_hit for b in log.batches] == [False, False]

@@ -1,0 +1,121 @@
+"""Tests for the artifact cache: hits, misses, invalidation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ArtifactCache,
+    RuntimeConfig,
+    get_cache,
+    stable_key,
+    use_runtime,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class FakeTrialConfig:
+    sigma: float = 0.5
+    devices: int = 100
+
+
+@dataclasses.dataclass(frozen=True)
+class OtherConfig:
+    sigma: float = 0.5
+    devices: int = 100
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        cfg = FakeTrialConfig()
+        assert stable_key("mc", cfg) == stable_key("mc", cfg)
+
+    def test_config_change_invalidates(self):
+        assert stable_key("mc", FakeTrialConfig()) != stable_key(
+            "mc", FakeTrialConfig(sigma=0.6)
+        )
+
+    def test_version_change_invalidates(self):
+        cfg = FakeTrialConfig()
+        assert stable_key("mc", cfg, version="1.0.0") != stable_key(
+            "mc", cfg, version="1.0.1"
+        )
+
+    def test_kind_namespaces(self):
+        cfg = FakeTrialConfig()
+        assert stable_key("mc", cfg) != stable_key("section", cfg)
+
+    def test_class_name_distinguishes_identical_fields(self):
+        assert stable_key("mc", FakeTrialConfig()) != stable_key(
+            "mc", OtherConfig()
+        )
+
+    def test_array_contents_hashed(self):
+        a = {"w": np.arange(6.0)}
+        b = {"w": np.arange(6.0)}
+        c = {"w": np.arange(6.0) + 1e-12}
+        assert stable_key("mc", a) == stable_key("mc", b)
+        assert stable_key("mc", a) != stable_key("mc", c)
+
+    def test_float_precision_preserved(self):
+        assert stable_key("mc", {"x": 0.1}) != stable_key(
+            "mc", {"x": 0.1 + 1e-16}
+        ) or (0.1 == 0.1 + 1e-16)  # equal floats may share a key
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError, match="stable cache key"):
+            stable_key("mc", object())
+
+
+class TestArtifactCache:
+    def test_json_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("section", {"name": "fig2"})
+        assert cache.get_json(key) is None
+        cache.put_json(key, {"text": "hello"})
+        assert cache.get_json(key) == {"text": "hello"}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_array_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("mc", FakeTrialConfig())
+        values = np.random.default_rng(0).normal(size=(7, 2))
+        assert cache.get_arrays(key) is None
+        cache.put_arrays(key, values=values)
+        stored = cache.get_arrays(key)
+        assert np.array_equal(stored["values"], values)
+
+    def test_different_keys_do_not_collide(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        k1 = stable_key("mc", FakeTrialConfig())
+        k2 = stable_key("mc", FakeTrialConfig(devices=101))
+        cache.put_json(k1, {"v": 1})
+        assert cache.get_json(k2) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = stable_key("section", {"name": "fig3"})
+        path = cache.put_json(key, {"text": "ok"})
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.get_json(key) is None
+
+
+class TestAmbientCache:
+    def test_disabled_by_default(self):
+        assert get_cache() is None
+
+    def test_enabled_with_cache_dir(self, tmp_path):
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)):
+            cache = get_cache()
+            assert cache is not None
+            assert cache.root == tmp_path
+
+    def test_no_cache_flag_wins(self, tmp_path):
+        with use_runtime(
+            RuntimeConfig(cache_dir=tmp_path, use_cache=False)
+        ):
+            assert get_cache() is None

@@ -1,0 +1,140 @@
+"""Tests for the deterministic parallel executor."""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    RunLog,
+    RuntimeConfig,
+    chunk_bounds,
+    map_trials,
+    parallel_map,
+    trial_seed_sequence,
+    use_run_log,
+    use_runtime,
+)
+
+
+def _noise_trial(rng: np.random.Generator, scale: float = 1.0):
+    return rng.normal(size=3) * scale
+
+
+def _square(x: float) -> float:
+    return x * x
+
+
+class TestTrialSeedSequence:
+    def test_matches_spawn_tree(self):
+        # The engine's O(1) construction must equal SeedSequence.spawn,
+        # which is what the legacy child_rngs implementation used.
+        spawned = np.random.SeedSequence(123).spawn(8)
+        for i, child in enumerate(spawned):
+            direct = trial_seed_sequence(123, i)
+            assert (
+                child.generate_state(4).tolist()
+                == direct.generate_state(4).tolist()
+            )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError, match="index"):
+            trial_seed_sequence(0, -1)
+
+
+class TestChunkBounds:
+    def test_covers_every_trial_once(self):
+        for trials in (1, 2, 7, 64, 100):
+            for jobs in (1, 2, 8):
+                bounds = chunk_bounds(trials, jobs)
+                indices = [
+                    i for start, stop in bounds for i in range(start, stop)
+                ]
+                assert indices == list(range(trials))
+
+    def test_explicit_chunk_size(self):
+        assert chunk_bounds(10, 4, chunk_size=4) == [
+            (0, 4), (4, 8), (8, 10)
+        ]
+
+    def test_partition_independent_of_jobs_with_fixed_chunk(self):
+        assert chunk_bounds(20, 2, 5) == chunk_bounds(20, 16, 5)
+
+
+class TestMapTrials:
+    def test_identical_across_jobs(self):
+        trial = functools.partial(_noise_trial, scale=2.0)
+        baseline = map_trials(trial, 23, seed=7, jobs=1)
+        for jobs in (2, 4):
+            assert np.array_equal(
+                baseline, map_trials(trial, 23, seed=7, jobs=jobs)
+            )
+
+    def test_identical_across_chunk_sizes(self):
+        trial = functools.partial(_noise_trial)
+        a = map_trials(trial, 17, seed=3, jobs=1, chunk_size=1)
+        b = map_trials(trial, 17, seed=3, jobs=2, chunk_size=5)
+        assert np.array_equal(a, b)
+
+    def test_matches_legacy_spawn_tree(self):
+        values = map_trials(
+            functools.partial(_noise_trial), 9, seed=11, jobs=1
+        )
+        legacy = np.asarray([
+            _noise_trial(np.random.default_rng(s))
+            for s in np.random.SeedSequence(11).spawn(9)
+        ])
+        assert np.array_equal(values, legacy)
+
+    def test_closure_falls_back_to_serial(self):
+        # Lambdas cannot cross a process boundary; they must still run.
+        values = map_trials(lambda rng: rng.random(), 6, seed=1, jobs=4)
+        assert values.shape == (6,)
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials"):
+            map_trials(functools.partial(_noise_trial), 0)
+
+    def test_reads_ambient_jobs(self):
+        trial = functools.partial(_noise_trial)
+        baseline = map_trials(trial, 8, seed=2, jobs=1)
+        with use_runtime(RuntimeConfig(jobs=2)):
+            ambient = map_trials(trial, 8, seed=2)
+        assert np.array_equal(baseline, ambient)
+
+    def test_progress_reaches_total(self):
+        seen = []
+        log = RunLog(progress=lambda label, done, total:
+                     seen.append((done, total)))
+        with use_run_log(log):
+            map_trials(functools.partial(_noise_trial), 10, seed=0,
+                       jobs=1, chunk_size=4)
+        assert seen[-1] == (10, 10)
+        assert [d for d, _ in seen] == sorted(d for d, _ in seen)
+
+    def test_records_batch_telemetry(self):
+        log = RunLog()
+        with use_run_log(log):
+            map_trials(functools.partial(_noise_trial), 5, seed=0,
+                       jobs=1, label="unit")
+        assert len(log.batches) == 1
+        assert log.batches[0].label == "unit"
+        assert log.batches[0].trials == 5
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = [3.0, 1.0, 2.0, 5.0]
+        assert parallel_map(_square, items, jobs=1) == [9.0, 1.0, 4.0, 25.0]
+
+    def test_identical_across_jobs(self):
+        items = list(range(10))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=3
+        )
+
+    def test_closure_falls_back_to_serial(self):
+        offset = 10
+        assert parallel_map(lambda v: v + offset, [1, 2], jobs=4) == [11, 12]

@@ -1,0 +1,78 @@
+"""Tests for the telemetry run log."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import RunLog, current_run_log, use_run_log
+
+
+class TestRunLog:
+    def test_ambient_default_is_none(self):
+        assert current_run_log() is None
+
+    def test_use_run_log_scopes(self):
+        log = RunLog()
+        with use_run_log(log):
+            assert current_run_log() is log
+        assert current_run_log() is None
+
+    def test_experiment_accounting(self):
+        log = RunLog()
+        log.record_experiment("fig2", 1.5, cache_hit=False)
+        log.record_experiment("fig3", 0.0, cache_hit=True)
+        assert log.recomputed_experiments == 1
+        assert log.cached_experiments == 1
+
+    def test_batch_throughput(self):
+        log = RunLog()
+        batch = log.record_batch("mc", trials=100, seconds=2.0, jobs=4)
+        assert batch.trials_per_second == 50.0
+        assert log.total_trials == 100
+
+    def test_cache_hit_batch_has_zero_throughput(self):
+        log = RunLog()
+        batch = log.record_batch("mc", 0, 0.01, 1, cache_hit=True)
+        assert batch.trials_per_second == 0.0
+
+    def test_time_experiment_records_duration(self):
+        log = RunLog()
+        with log.time_experiment("fig2") as record:
+            record.cache_hit = True
+        assert len(log.experiments) == 1
+        assert log.experiments[0].name == "fig2"
+        assert log.experiments[0].cache_hit
+        assert log.experiments[0].seconds >= 0.0
+
+    def test_summary_is_deterministic(self):
+        # The embedded report section must not leak wall times.
+        a, b = RunLog(), RunLog()
+        a.record_experiment("fig2", 1.0, cache_hit=False, cache_key="ab" * 32)
+        b.record_experiment("fig2", 99.0, cache_hit=False, cache_key="ab" * 32)
+        assert a.render_summary() == b.render_summary()
+        assert "1.0" not in a.render_summary()
+
+    def test_timing_view_has_wall_times(self):
+        log = RunLog()
+        log.record_experiment("fig2", 1.25, cache_hit=False)
+        assert "1.25s" in log.render_timing()
+
+    def test_json_structure(self):
+        log = RunLog()
+        log.record_experiment("fig2", 1.0, cache_hit=True, cache_key="k")
+        log.record_batch("mc", 10, 0.5, 2)
+        doc = json.loads(log.to_json())
+        assert doc["cached_experiments"] == 1
+        assert doc["recomputed_experiments"] == 0
+        assert doc["total_trials"] == 10
+        assert doc["experiments"][0]["name"] == "fig2"
+        assert doc["batches"][0]["jobs"] == 2
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        log = RunLog(progress=lambda *args: seen.append(args))
+        log.report_progress("mc", 5, 10)
+        assert seen == [("mc", 5, 10)]
+
+    def test_progress_noop_without_callback(self):
+        RunLog().report_progress("mc", 1, 2)  # must not raise

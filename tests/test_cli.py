@@ -31,6 +31,20 @@ class TestParser:
         assert args.experiments is None
         assert args.image_size == 14
         assert not args.paper_scale
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+        assert args.run_log is None
+
+    def test_report_runtime_flags(self):
+        args = build_parser().parse_args([
+            "report", "--jobs", "4", "--cache-dir", "/tmp/c",
+            "--no-cache", "--run-log", "log.json",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache
+        assert args.run_log == "log.json"
 
     def test_report_experiment_subset(self):
         args = build_parser().parse_args(
@@ -103,6 +117,74 @@ class TestMain:
         code = main(["report", "--experiments", "fig2"])
         assert code == 0
         assert "Fig. 2" in capsys.readouterr().out
+
+    def test_output_creates_parent_dirs_utf8(self, tmp_path, capsys,
+                                             monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        out = tmp_path / "deeply" / "nested" / "report.txt"
+        code = main([
+            "report", "--experiments", "fig3", "--output", str(out),
+        ])
+        assert code == 0
+        assert "Fig. 3" in out.read_text(encoding="utf-8")
+
+    def test_jobs_produce_identical_report(self, tmp_path, capsys,
+                                           monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        out1 = tmp_path / "r1.txt"
+        out2 = tmp_path / "r2.txt"
+        main(["report", "--experiments", "fig2", "--jobs", "1",
+              "--output", str(out1)])
+        main(["report", "--experiments", "fig2", "--jobs", "2",
+              "--output", str(out2)])
+        assert out1.read_bytes() == out2.read_bytes()
+
+    def test_cache_dir_skips_recompute(self, tmp_path, capsys,
+                                       monkeypatch):
+        import json
+
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        cache = tmp_path / "cache"
+        log1 = tmp_path / "log1.json"
+        log2 = tmp_path / "log2.json"
+        common = ["report", "--experiments", "fig2", "fig3",
+                  "--cache-dir", str(cache)]
+        main(common + ["--run-log", str(log1),
+                       "--output", str(tmp_path / "a.txt")])
+        main(common + ["--run-log", str(log2),
+                       "--output", str(tmp_path / "b.txt")])
+        first = json.loads(log1.read_text(encoding="utf-8"))
+        second = json.loads(log2.read_text(encoding="utf-8"))
+        assert first["recomputed_experiments"] == 2
+        assert second["recomputed_experiments"] == 0
+        assert second["cached_experiments"] == 2
+
+    def test_report_embeds_run_log_section(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        monkeypatch.setattr(
+            cli_module.ExperimentScale, "quick",
+            classmethod(lambda cls: nano_scale()),
+        )
+        main(["report", "--experiments", "fig3"])
+        out = capsys.readouterr().out
+        assert "=== run log ===" in out
+        assert "fig3     computed" in out
 
     def test_seed_override(self, monkeypatch, capsys):
         import repro.cli as cli_module
