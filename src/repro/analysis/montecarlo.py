@@ -36,7 +36,7 @@ __all__ = [
 ]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class MonteCarloSummary:
     """Summary statistics of a Monte-Carlo run.
 

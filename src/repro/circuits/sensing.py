@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.circuits.adc import ADC
+from repro.seeding import ensure_rng
 
 __all__ = ["CurrentSense", "repeated_sense_average"]
 
@@ -37,7 +38,7 @@ class CurrentSense:
             raise ValueError(f"noise_std must be >= 0, got {noise_std}")
         self.adc = adc
         self.noise_std = float(noise_std)
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng, "repro.circuits.sensing.CurrentSense")
 
     def sense(self, current: np.ndarray | float) -> np.ndarray:
         """One sensing operation on a current (or array of currents)."""

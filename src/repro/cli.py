@@ -7,6 +7,7 @@ Usage::
     python -m repro report --paper-scale --image-size 28
     python -m repro report --jobs 8 --cache-dir ~/.cache/repro
     python -m repro quickstart             # end-to-end Vortex demo
+    python -m repro lint src               # determinism contract check
 
 The report subcommand regenerates the paper's tables/figures at the
 chosen scale and prints (or writes) the combined text report.
@@ -28,6 +29,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.report import EXPERIMENT_RUNNERS, generate_report
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.runtime import RunLog, RuntimeConfig, use_run_log, use_runtime
 
 __all__ = ["main", "build_parser"]
@@ -116,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
     quick.add_argument("--image-size", type=int, choices=(7, 14, 28),
                        default=14)
     quick.add_argument("--seed", type=int, default=42)
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "check the determinism/picklability/cache contracts "
+            "(rules REP001-REP005, see docs/determinism.md)"
+        ),
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -192,6 +203,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_report(args)
     if args.command == "quickstart":
         return _run_quickstart(args)
+    if args.command == "lint":
+        return run_lint(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.base import TrainingOutcome
 from repro.nn.linear import one_vs_all_targets
+from repro.seeding import ensure_rng
 from repro.nn.metrics import rate_from_scores
 from repro.xbar.ir_drop import program_factors
 from repro.xbar.pair import DifferentialCrossbar
@@ -124,7 +125,7 @@ def train_cld(
         diagnostics include the sensed-error history.
     """
     cfg = config if config is not None else CLDConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng, "repro.core.cld.train_cld")
     x = np.asarray(x, dtype=float)
     labels = np.asarray(labels)
     if x.ndim != 2 or x.shape[1] != pair.shape[0]:

@@ -24,6 +24,7 @@ from repro.nn.gdt import GDTConfig
 from repro.nn.metrics import rate_from_scores
 from repro.nn.split import stratified_split
 from repro.runtime.executor import parallel_map
+from repro.seeding import ensure_rng
 
 __all__ = ["SelfTuningConfig", "GammaScanPoint", "TuneResult", "tune_gamma",
            "injected_rate"]
@@ -209,7 +210,7 @@ def tune_gamma(
         all-samples retraining at the selected gamma.
     """
     cfg = config if config is not None else SelfTuningConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng, "repro.core.self_tuning.tune_gamma")
     x = np.asarray(x, dtype=float)
     labels = np.asarray(labels)
     if len(cfg.gammas) == 0:

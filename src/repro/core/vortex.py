@@ -34,6 +34,7 @@ from repro.core.sensitivity import mapping_order
 from repro.core.greedy import greedy_mapping, optimal_mapping
 from repro.core.swv import swv_pair
 from repro.nn.metrics import rate_from_scores
+from repro.seeding import ensure_rng
 from repro.xbar.pair import DifferentialCrossbar
 
 __all__ = ["VortexConfig", "VortexResult", "run_vortex"]
@@ -130,7 +131,7 @@ def run_vortex(
         for :meth:`VortexResult.test_rate`.
     """
     cfg = config if config is not None else VortexConfig()
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng, "repro.core.vortex.run_vortex")
     x_train = np.asarray(x_train, dtype=float)
     labels = np.asarray(labels)
     n_logical = x_train.shape[1]

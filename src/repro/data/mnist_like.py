@@ -17,6 +17,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.data.glyphs import GLYPH_COLS, GLYPH_ROWS, glyph_bitmaps
+from repro.seeding import ensure_rng
 
 __all__ = ["RenderParams", "DigitRenderer", "IMAGE_SIZE"]
 
@@ -67,7 +68,7 @@ class DigitRenderer:
         rng: np.random.Generator | None = None,
     ):
         self.params = params if params is not None else RenderParams()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng, "repro.data.mnist_like.DigitRenderer")
         self._bitmaps = glyph_bitmaps()
 
     # ------------------------------------------------------------------

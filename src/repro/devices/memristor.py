@@ -29,6 +29,7 @@ from repro.devices.defects import (
     apply_defects_to_conductance,
 )
 from repro.devices.switching import SwitchingModel
+from repro.seeding import ensure_rng
 from repro.devices.variation import VariationModel
 
 __all__ = ["MemristorArray"]
@@ -60,7 +61,7 @@ class MemristorArray:
         self.switching = SwitchingModel(self.device)
         self.variation = VariationModel(
             variation if variation is not None else VariationConfig(),
-            rng if rng is not None else np.random.default_rng(),
+            ensure_rng(rng, "repro.devices.memristor.MemristorArray"),
         )
         # Fabrication: one persistent theta and defect flag per device.
         self.theta = self.variation.sample_parametric_theta(self.shape)

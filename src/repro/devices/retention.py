@@ -22,6 +22,7 @@ import dataclasses
 import numpy as np
 
 from repro.devices.memristor import MemristorArray
+from repro.seeding import ensure_rng
 from repro.xbar.pair import DifferentialCrossbar
 
 __all__ = [
@@ -98,8 +99,7 @@ def age_array(
     """
     nu = getattr(array, "_retention_nu", None)
     if nu is None:
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = ensure_rng(rng, "repro.devices.retention.age_array")
         nu = sample_drift_exponents(config, array.shape, rng)
         array._retention_nu = nu  # cached: exponents are persistent
         array._retention_age = 0.0
@@ -124,7 +124,7 @@ def age_pair(
     rng: np.random.Generator | None = None,
 ) -> None:
     """Age both arrays of a differential pair."""
-    rng = rng if rng is not None else np.random.default_rng()
+    rng = ensure_rng(rng, "repro.devices.retention.age_pair")
     age_array(pair.positive.array, elapsed, config, rng)
     age_array(pair.negative.array, elapsed, config, rng)
 

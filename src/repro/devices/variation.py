@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import VariationConfig
+from repro.seeding import ensure_rng
 
 __all__ = [
     "VariationModel",
@@ -86,7 +87,7 @@ class VariationModel:
         rng: np.random.Generator | None = None,
     ):
         self.config = config if config is not None else VariationConfig()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = ensure_rng(rng, "repro.devices.variation.VariationModel")
 
     # ------------------------------------------------------------------
     # parametric (persistent, per-device) component

@@ -27,7 +27,7 @@ __all__ = ["ColumnStudyResult", "ColumnTrialConfig", "run_fig2",
 DEFAULT_SIGMAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ColumnStudyResult:
     """Discrepancy curves of the Fig. 2 study.
 

@@ -27,7 +27,7 @@ __all__ = ["IRDropStudyResult", "run_fig3", "DEFAULT_HEIGHTS"]
 DEFAULT_HEIGHTS = (32, 64, 128, 256)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class IRDropStudyResult:
     """Fig. 3 maps and scaling diagnostics.
 

@@ -52,7 +52,7 @@ def _gamma_point(
     return np.array([outcome.training_rate, clean, injected])
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class VATTradeoffResult:
     """Per-gamma rates of the Fig. 4 sweep.
 

@@ -33,7 +33,7 @@ from repro.xbar.mapping import WeightScaler
 __all__ = ["AMPStudyResult", "run_fig7"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class AMPStudyResult:
     """Per-gamma hardware rates before and after AMP.
 

@@ -37,7 +37,7 @@ DEFAULT_BITS = (4, 5, 6, 7, 8)
 DEFAULT_SIGMAS = (0.4, 0.6, 0.8)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class ADCStudyResult:
     """Test-rate grid of the Fig. 8 sweep.
 

@@ -42,7 +42,7 @@ DEFAULT_REDUNDANCY = (0, 25, 50, 100)
 DEFAULT_SIGMAS = (0.4, 0.6, 0.8)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class RedundancyStudyResult:
     """Fig. 9 grid plus the headline averages.
 

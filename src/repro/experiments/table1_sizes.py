@@ -47,7 +47,7 @@ DEFAULT_IMAGE_SIZES = (28, 14, 7)
 SCHEMES = ("cld_ir", "vortex_ir", "cld_no_ir")
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(frozen=True)
 class SizeStudyResult:
     """Table 1 grid: rates per scheme per crossbar size.
 

@@ -1,0 +1,39 @@
+"""Project-specific static analysis guarding the determinism contracts.
+
+The runtime engine (PR 1) made three implicit contracts load-bearing;
+this package enforces them statically (stdlib ``ast`` only, no new
+dependencies):
+
+==========  ==========================================================
+``REP001``  every stochastic path flows from an explicit seeded
+            ``np.random.Generator`` — no unseeded ``default_rng()``,
+            no legacy ``RandomState``, no global-state draws
+``REP002``  callables handed to the executor APIs must survive
+            process-pool pickling (module-level functions or
+            ``functools.partial`` over them)
+``REP003``  dataclasses used as cache keys must be ``frozen=True``
+            with deterministically-hashable fields
+``REP004``  no mutable default arguments
+``REP005``  no bare ``except:`` / silently swallowed exceptions
+==========  ==========================================================
+
+Run it as ``python -m repro.lint src`` or ``repro lint``; suppress a
+reviewed finding inline with ``# repro-lint: disable=REPxxx``.  See
+``docs/determinism.md`` for the full contract description.
+"""
+
+from repro.lint.engine import LintResult, discover_files, lint_paths, lint_sources
+from repro.lint.suppress import SuppressionMap, parse_suppressions
+from repro.lint.violation import ALL_CODES, RULES, Violation
+
+__all__ = [
+    "ALL_CODES",
+    "LintResult",
+    "RULES",
+    "SuppressionMap",
+    "Violation",
+    "discover_files",
+    "lint_paths",
+    "lint_sources",
+    "parse_suppressions",
+]

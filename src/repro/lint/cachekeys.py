@@ -1,0 +1,75 @@
+"""Cross-file REP003 pass: cache-key dataclasses must hash stably.
+
+The per-file checkers record (a) every dataclass definition and (b)
+every class name observed flowing into a cache-key position —
+``ArtifactCache.make_key``, ``stable_key`` or
+``run_monte_carlo(cache_config=...)``.  This module joins the two: a
+class that reaches a cache key must be ``frozen=True`` (so the key
+cannot drift between computing and storing) and must not carry
+``dict``/``set`` fields (whose iteration/ordering semantics make the
+canonical hash fragile).
+
+Violations are attributed to the *class definition* line — that is
+where the fix (or the suppression, with justification) belongs — and
+the message cites the first use site that pulled the class into
+cache-key duty.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lint.rules import CacheKeyUse, DataclassInfo
+from repro.lint.violation import Violation
+
+__all__ = ["check_cache_keys"]
+
+
+def check_cache_keys(
+    dataclasses: Iterable[DataclassInfo],
+    uses: Sequence[CacheKeyUse],
+) -> list[Violation]:
+    """REP003 violations across the whole linted file set."""
+    registry: dict[str, list[DataclassInfo]] = {}
+    for info in dataclasses:
+        registry.setdefault(info.name, []).append(info)
+
+    first_use: dict[str, CacheKeyUse] = {}
+    for use in uses:
+        first_use.setdefault(use.class_name, use)
+
+    violations: list[Violation] = []
+    for class_name, use in sorted(first_use.items()):
+        for info in registry.get(class_name, ()):
+            if not info.frozen:
+                violations.append(
+                    Violation(
+                        path=info.path,
+                        line=info.line,
+                        col=1,
+                        code="REP003",
+                        message=(
+                            f"dataclass '{info.name}' is used as a cache "
+                            f"key ({use.path}:{use.line}) but is not "
+                            "frozen=True; a mutable key can change "
+                            "between hashing and storing"
+                        ),
+                    )
+                )
+            for field_name, type_name in info.unstable_fields:
+                violations.append(
+                    Violation(
+                        path=info.path,
+                        line=info.line,
+                        col=1,
+                        code="REP003",
+                        message=(
+                            f"dataclass '{info.name}' is used as a cache "
+                            f"key ({use.path}:{use.line}) but field "
+                            f"'{field_name}' has unstable type "
+                            f"'{type_name}'; use tuples or frozen "
+                            "sub-dataclasses"
+                        ),
+                    )
+                )
+    return violations

@@ -1,0 +1,154 @@
+"""Command-line front-end: ``python -m repro.lint`` / ``repro lint``.
+
+Exit codes follow convention: 0 clean, 1 violations found, 2 usage
+error.  ``--format json`` emits a machine-readable document (stable
+schema, see ``docs/determinism.md``) for CI and tooling; the default
+text mode prints one ``path:line:col: CODE message`` per finding plus
+a summary line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.violation import ALL_CODES, RULES
+
+__all__ = ["main", "build_parser", "add_lint_arguments", "run_lint"]
+
+#: Schema version of the ``--format json`` document.
+JSON_SCHEMA_VERSION = 1
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options (shared with the ``repro lint`` subcommand)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is the CI interface)",
+    )
+    parser.add_argument(
+        "--select",
+        type=str,
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to enforce (default: all)",
+    )
+    parser.add_argument(
+        "--allow-unseeded",
+        action="append",
+        default=[],
+        metavar="PATH_SUFFIX",
+        help=(
+            "path suffix of a sanctioned entry point where REP001 "
+            "(unseeded randomness) is permitted; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print per-rule counts after the findings",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Project-specific determinism/picklability/cache-contract "
+            "checker (rules REP001-REP005)."
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def _parse_select(raw: str | None) -> frozenset[str] | None:
+    if raw is None:
+        return None
+    codes = frozenset(c.strip().upper() for c in raw.split(",") if c.strip())
+    unknown = codes - ALL_CODES
+    if unknown:
+        raise SystemExit(
+            f"error: unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
+    return codes
+
+
+def _render_json(result: LintResult) -> str:
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "violations": [v.to_dict() for v in result.violations],
+        "suppressed": [v.to_dict() for v in result.suppressed],
+        "counts": result.counts,
+        "clean": not result.violations,
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _render_text(result: LintResult, statistics: bool) -> str:
+    lines = [v.render() for v in result.violations]
+    if statistics and result.counts:
+        lines.append("")
+        for code, count in result.counts.items():
+            lines.append(f"{code}: {count}")
+    n = len(result.violations)
+    summary = (
+        f"{n} violation{'s' if n != 1 else ''} "
+        f"({len(result.suppressed)} suppressed) "
+        f"in {result.files_checked} files"
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    try:
+        result = lint_paths(
+            args.paths,
+            select=_parse_select(args.select),
+            allow_unseeded=args.allow_unseeded,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_render_json(result))
+    else:
+        print(_render_text(result, args.statistics))
+    return 1 if result.violations else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``python -m repro.lint``."""
+    try:
+        return run_lint(build_parser().parse_args(argv))
+    except BrokenPipeError:
+        # Output was piped into e.g. `head`; exiting quietly is the
+        # conventional CLI behaviour.
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

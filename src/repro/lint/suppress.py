@@ -1,0 +1,87 @@
+"""Inline suppression comments for the REP linter.
+
+Two forms are recognised, both parsed from real tokenizer output (so a
+``# repro-lint: ...`` inside a string literal is never mistaken for a
+directive):
+
+* ``# repro-lint: disable=REP001`` on a line suppresses the listed
+  rules (comma-separated, or ``all``) for that line only.
+* ``# repro-lint: disable-file=REP001`` anywhere in a file suppresses
+  the listed rules for the whole file.
+
+Suppressions are deliberately explicit and greppable: a clean tree
+means "zero *unsuppressed* violations", and every suppression is an
+auditable statement that a human looked at the finding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+from repro.lint.violation import ALL_CODES, Violation
+
+__all__ = ["SuppressionMap", "parse_suppressions"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint\s*:\s*(?P<scope>disable|disable-file)\s*="
+    r"\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+
+def _parse_codes(raw: str) -> frozenset[str]:
+    """Normalise a comma-separated code list; ``all`` means every rule."""
+    codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
+    if "ALL" in codes:
+        return ALL_CODES
+    return frozenset(codes & ALL_CODES)
+
+
+@dataclasses.dataclass(frozen=True)
+class SuppressionMap:
+    """Which rule codes are suppressed where.
+
+    Attributes:
+        by_line: 1-based line -> codes suppressed on that line.
+        file_wide: Codes suppressed for the entire file.
+    """
+
+    by_line: dict[int, frozenset[str]]
+    file_wide: frozenset[str]
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """Whether ``violation`` is covered by a directive."""
+        if violation.code in self.file_wide:
+            return True
+        return violation.code in self.by_line.get(violation.line, frozenset())
+
+
+def parse_suppressions(source: str) -> SuppressionMap:
+    """Extract every suppression directive from ``source``.
+
+    Tolerates files that do not tokenize (the engine reports those as
+    syntax errors separately); in that case nothing is suppressed.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: frozenset[str] = frozenset()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionMap(by_line={}, file_wide=frozenset())
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        codes = _parse_codes(match.group("codes"))
+        if not codes:
+            continue
+        if match.group("scope") == "disable-file":
+            file_wide = file_wide | codes
+        else:
+            line = tok.start[0]
+            by_line[line] = by_line.get(line, frozenset()) | codes
+    return SuppressionMap(by_line=by_line, file_wide=file_wide)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.circuits.adc import ADC
 from repro.circuits.sensing import CurrentSense
 from repro.config import CrossbarConfig, DeviceConfig, VariationConfig
+from repro.seeding import ensure_rng
 from repro.xbar.crossbar import Crossbar
 from repro.xbar.mapping import WeightScaler
 
@@ -55,7 +56,7 @@ class DifferentialCrossbar:
         self.config = config if config is not None else CrossbarConfig()
         self.diff_sense = diff_sense
         self.digital_gains: np.ndarray | None = None
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng, "repro.xbar.pair.DifferentialCrossbar")
         self.positive = Crossbar(self.config, device, variation, rng, sense)
         self.negative = Crossbar(self.config, device, variation, rng, sense)
 

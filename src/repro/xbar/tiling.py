@@ -20,6 +20,7 @@ import numpy as np
 from repro.circuits.adc import ADC
 from repro.circuits.sensing import CurrentSense
 from repro.config import CrossbarConfig, DeviceConfig, VariationConfig
+from repro.seeding import ensure_rng
 from repro.xbar.mapping import WeightScaler
 from repro.xbar.pair import DifferentialCrossbar
 
@@ -70,7 +71,7 @@ class TiledPair:
         adc_bits: int | None = None,
     ):
         base = config if config is not None else CrossbarConfig()
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = ensure_rng(rng, "repro.xbar.tiling.TiledCrossbar")
         self.scaler = scaler
         self.n_rows = int(n_rows)
         self.cols = int(cols)

@@ -1,0 +1,16 @@
+"""File-wide suppression fixture."""
+# repro-lint: disable-file=REP001
+
+import numpy as np
+
+
+def first():
+    return np.random.default_rng()
+
+
+def second():
+    return np.random.default_rng()
+
+
+def still_flagged(values=[]):  # REP004 is not file-disabled
+    return values

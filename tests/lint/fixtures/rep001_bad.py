@@ -1,0 +1,35 @@
+"""REP001 positive fixture: every unseeded-randomness form."""
+
+import numpy as np
+import numpy.random as npr
+from numpy import random as nrandom
+from numpy.random import RandomState, default_rng
+
+
+def unseeded_attribute():
+    return np.random.default_rng()  # line 10: unseeded via np.random
+
+
+def unseeded_direct():
+    return default_rng()  # line 14: unseeded via from-import
+
+
+def unseeded_module_alias():
+    return npr.default_rng()  # line 18: unseeded via numpy.random alias
+
+
+def unseeded_from_numpy_import_random():
+    return nrandom.default_rng()  # line 22
+
+
+def legacy_randomstate():
+    return RandomState(42)  # line 26: legacy even when seeded
+
+
+def legacy_randomstate_attribute():
+    return np.random.RandomState()  # line 30
+
+
+def global_state_draw():
+    np.random.seed(0)  # line 34: global seeding
+    return np.random.normal(0.0, 1.0, size=3)  # line 35: global draw

@@ -1,0 +1,27 @@
+"""REP001 negative fixture: seeded and threaded randomness only."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_literal():
+    return np.random.default_rng(42)
+
+
+def seeded_direct(seed):
+    return default_rng(seed)
+
+
+def from_seed_sequence(seed, index):
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=(index,))
+    )
+
+
+def threaded(rng: np.random.Generator):
+    return rng.normal(0.0, 1.0, size=3)
+
+
+def generator_method_named_like_module(obj):
+    # Not numpy.random: attribute chains on other objects are ignored.
+    return obj.random.normal(0.0, 1.0)

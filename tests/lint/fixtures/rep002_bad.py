@@ -1,0 +1,39 @@
+"""REP002 positive fixture: unpicklable callables into executor APIs."""
+
+import functools
+from functools import partial
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.runtime.executor import map_trials, parallel_map
+
+
+def literal_lambda():
+    return run_monte_carlo(lambda rng: rng.normal(), trials=4)  # line 11
+
+
+def lambda_via_name():
+    trial = lambda rng: rng.normal()  # noqa: E731
+    return map_trials(trial, 4)  # line 16
+
+
+def nested_function():
+    def trial(rng):
+        return rng.normal()
+
+    return run_monte_carlo(trial, trials=4)  # line 23
+
+
+def partial_over_lambda():
+    fn = functools.partial(lambda x, k: x + k, k=2)
+    return parallel_map(fn, [1, 2, 3])  # line 28
+
+
+def partial_literal_over_nested():
+    def inner(x, k):
+        return x + k
+
+    return parallel_map(partial(inner, k=2), [1, 2, 3])  # line 35
+
+
+def keyword_lambda():
+    return map_trials(trial=lambda rng: rng.normal(), trials=4)  # line 39

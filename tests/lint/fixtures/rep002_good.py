@@ -1,0 +1,28 @@
+"""REP002 negative fixture: picklable callables only."""
+
+import functools
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.runtime.executor import map_trials, parallel_map
+
+
+def _trial(rng, scale=1.0):
+    return rng.normal() * scale
+
+
+def module_level():
+    return run_monte_carlo(_trial, trials=4)
+
+
+def partial_over_module_level():
+    return map_trials(functools.partial(_trial, scale=2.0), 4)
+
+
+def partial_assigned_to_name():
+    fn = functools.partial(_trial, scale=3.0)
+    return parallel_map(fn, [1, 2, 3])
+
+
+def unknown_name_is_not_flagged(trial_from_caller):
+    # The linter only reports what it can prove; an opaque name passes.
+    return run_monte_carlo(trial_from_caller, trials=4)

@@ -1,0 +1,35 @@
+"""REP003 positive fixture: unstable dataclasses reaching cache keys."""
+
+import dataclasses
+
+from repro.runtime.cache import stable_key
+
+
+@dataclasses.dataclass
+class MutableKeyConfig:  # line 9: not frozen, used at line 31
+    sigma: float
+    trials: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DictFieldConfig:  # line 15: frozen but carries a dict field
+    sigma: float
+    options: dict[str, float]
+
+
+@dataclasses.dataclass(frozen=True)
+class SetFieldConfig:  # line 21: frozen but carries a set field
+    tags: set
+
+
+def key_from_constructor():
+    return stable_key("mc", DictFieldConfig(0.1, {}))
+
+
+def key_from_local_variable():
+    cfg = MutableKeyConfig(sigma=0.1, trials=10)
+    return stable_key("mc", cfg)  # line 31
+
+
+def key_from_parameter(cfg: SetFieldConfig):
+    return stable_key("mc", {"config": cfg, "seed": 0})

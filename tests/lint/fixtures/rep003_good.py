@@ -1,0 +1,37 @@
+"""REP003 negative fixture: frozen, hashable cache-key dataclasses."""
+
+import dataclasses
+
+from repro.analysis.montecarlo import run_monte_carlo
+from repro.runtime.cache import stable_key
+
+
+@dataclasses.dataclass(frozen=True)
+class StableKeyConfig:
+    sigma: float
+    trials: int
+    gammas: tuple[float, ...]
+
+
+@dataclasses.dataclass
+class NeverAKey:
+    # Mutable, but never flows into a cache key, so REP003 ignores it.
+    scratch: dict
+
+
+def _trial(rng):
+    return rng.normal()
+
+
+def key_from_constructor():
+    return stable_key("mc", StableKeyConfig(0.1, 10, (0.0, 0.5)))
+
+
+def key_from_local_variable():
+    cfg = StableKeyConfig(sigma=0.1, trials=10, gammas=(0.0,))
+    return run_monte_carlo(_trial, trials=10, cache_config=cfg)
+
+
+def key_from_replace():
+    cfg = StableKeyConfig(0.1, 10, (0.0,))
+    return stable_key("mc", dataclasses.replace(cfg, sigma=0.2))

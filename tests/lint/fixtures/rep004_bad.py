@@ -1,0 +1,27 @@
+"""REP004 positive fixture: mutable default arguments."""
+
+import collections
+
+
+def list_default(values=[]):  # line 6
+    return values
+
+
+def dict_default(mapping={}):  # line 10
+    return mapping
+
+
+def set_default(tags={"a"}):  # line 14
+    return tags
+
+
+def call_default(items=list()):  # noqa: C408 - line 18
+    return items
+
+
+def defaultdict_default(table=collections.defaultdict(list)):  # line 22
+    return table
+
+
+def kwonly_default(*, acc=[]):  # line 26
+    return acc

@@ -1,0 +1,17 @@
+"""REP004 negative fixture: immutable defaults only."""
+
+
+def none_default(values=None):
+    return values if values is not None else []
+
+
+def tuple_default(shape=(2, 3)):
+    return shape
+
+
+def scalar_defaults(count=0, name="x", flag=False, ratio=1.5):
+    return count, name, flag, ratio
+
+
+def frozenset_default(codes=frozenset({"REP001"})):
+    return codes

@@ -1,0 +1,22 @@
+"""REP005 positive fixture: bare and silently swallowed excepts."""
+
+
+def bare_except():
+    try:
+        return 1 / 0
+    except:  # noqa: E722 - line 7
+        return None
+
+
+def swallowed_exception():
+    try:
+        return 1 / 0
+    except Exception:  # line 14
+        pass
+
+
+def swallowed_base_exception():
+    try:
+        return 1 / 0
+    except BaseException:  # line 20
+        ...

@@ -1,0 +1,22 @@
+"""REP005 negative fixture: narrow or handled exceptions."""
+
+
+def narrow_except():
+    try:
+        return 1 / 0
+    except ZeroDivisionError:
+        return float("inf")
+
+
+def broad_but_handled():
+    try:
+        return 1 / 0
+    except Exception:
+        return None  # handled: a value is produced, not silence
+
+
+def narrow_pass_is_fine():
+    try:
+        import does_not_exist  # noqa: F401
+    except ImportError:
+        pass

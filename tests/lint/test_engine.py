@@ -1,0 +1,122 @@
+"""Engine behaviour: suppressions, CLI exit codes, JSON schema."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_paths, parse_suppressions
+from repro.lint.cli import JSON_SCHEMA_VERSION, main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_inline_directives_cover_every_finding(self):
+        result = lint_paths([FIXTURES / "suppressed.py"])
+        assert result.violations == ()
+        assert len(result.suppressed) == 4
+        assert {v.code for v in result.suppressed} == {"REP001", "REP004"}
+
+    def test_file_wide_directive(self):
+        result = lint_paths([FIXTURES / "file_disabled.py"])
+        # Both REP001 findings are file-disabled; REP004 still fires.
+        assert [v.code for v in result.violations] == ["REP004"]
+        assert [v.code for v in result.suppressed] == ["REP001", "REP001"]
+
+    def test_directive_on_other_line_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "# repro-lint: disable=REP001\n"
+            "def f():\n"
+            "    return np.random.default_rng()\n"
+        )
+        from repro.lint import lint_sources
+
+        result = lint_sources([("f.py", source)])
+        assert [v.code for v in result.violations] == ["REP001"]
+
+    def test_directive_inside_string_is_ignored(self):
+        smap = parse_suppressions(
+            's = "# repro-lint: disable=REP001"\n'
+        )
+        assert smap.by_line == {}
+        assert smap.file_wide == frozenset()
+
+    def test_unknown_codes_are_dropped(self):
+        smap = parse_suppressions("x = 1  # repro-lint: disable=REP999\n")
+        assert smap.by_line == {}
+
+
+class TestCli:
+    def test_exit_zero_on_clean_file(self, capsys):
+        assert main([str(FIXTURES / "rep001_good.py")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    @pytest.mark.parametrize(
+        "name", ["rep001_bad.py", "rep002_bad.py", "rep003_bad.py",
+                 "rep004_bad.py", "rep005_bad.py"]
+    )
+    def test_exit_nonzero_on_each_rule_fixture(self, name, capsys):
+        assert main([str(FIXTURES / name)]) == 1
+        capsys.readouterr()
+
+    def test_exit_two_on_missing_path(self, capsys):
+        assert main(["definitely/not/a/path.py"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_text_output_format(self, capsys):
+        main([str(FIXTURES / "rep004_bad.py"), "--statistics"])
+        out = capsys.readouterr().out
+        assert "rep004_bad.py:6:" in out
+        assert "REP004: 6" in out
+        assert "6 violations (0 suppressed) in 1 files" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("REP001", "REP002", "REP003", "REP004", "REP005"):
+            assert code in out
+
+    def test_unknown_select_code_errors(self):
+        with pytest.raises(SystemExit):
+            main([str(FIXTURES / "rep001_good.py"), "--select", "REP9"])
+
+
+class TestJsonOutput:
+    def test_schema(self, capsys):
+        exit_code = main(
+            [str(FIXTURES / "rep005_bad.py"), "--format", "json"]
+        )
+        assert exit_code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == JSON_SCHEMA_VERSION
+        assert doc["clean"] is False
+        assert doc["files_checked"] == 1
+        assert doc["counts"] == {"REP005": 3}
+        assert doc["suppressed"] == []
+        first = doc["violations"][0]
+        assert set(first) == {"path", "line", "col", "code", "message"}
+        assert first["code"] == "REP005"
+        assert isinstance(first["line"], int)
+
+    def test_clean_document(self, capsys):
+        assert main(
+            [str(FIXTURES / "rep002_good.py"), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert doc["violations"] == []
+
+    def test_suppressions_are_reported(self, capsys):
+        main([str(FIXTURES / "suppressed.py"), "--format", "json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert len(doc["suppressed"]) == 4
+
+    def test_output_is_deterministic(self, capsys):
+        main([str(FIXTURES), "--format", "json"])
+        first = capsys.readouterr().out
+        main([str(FIXTURES), "--format", "json"])
+        second = capsys.readouterr().out
+        assert first == second

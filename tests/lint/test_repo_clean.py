@@ -1,0 +1,30 @@
+"""Meta-test: the repository's own source tree must lint clean.
+
+This is the executable form of the determinism contracts: any new
+unseeded RNG, unpicklable trial callable, unstable cache key, mutable
+default or swallowed exception under ``src/repro`` fails the suite
+(and the ``repro-lint`` CI job) until fixed or explicitly suppressed.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import lint_paths
+
+SRC_ROOT = Path(repro.__file__).parent
+
+
+def test_repo_lints_clean():
+    result = lint_paths([SRC_ROOT])
+    rendered = "\n".join(v.render() for v in result.violations)
+    assert result.violations == (), (
+        "src/repro violates its determinism contracts "
+        "(see docs/determinism.md):\n" + rendered
+    )
+
+
+def test_repo_scan_covers_the_package():
+    result = lint_paths([SRC_ROOT])
+    # Sanity floor so a path/discovery regression cannot silently turn
+    # the clean-tree assertion into a no-op.
+    assert result.files_checked > 50

@@ -70,6 +70,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == ["src"]
+        assert args.format == "text"
+
+    def test_lint_options(self):
+        args = build_parser().parse_args([
+            "lint", "src", "tests", "--format", "json",
+            "--select", "REP001,REP004",
+            "--allow-unseeded", "examples/demo.py",
+        ])
+        assert args.paths == ["src", "tests"]
+        assert args.format == "json"
+        assert args.select == "REP001,REP004"
+        assert args.allow_unseeded == ["examples/demo.py"]
+
 
 class TestGenerateReport:
     def test_runs_selected_cheap_sections(self):
@@ -185,6 +202,15 @@ class TestMain:
         out = capsys.readouterr().out
         assert "=== run log ===" in out
         assert "fig3     computed" in out
+
+    def test_lint_subcommand_on_clean_package(self, capsys):
+        from pathlib import Path
+
+        import repro
+
+        src_root = str(Path(repro.__file__).parent)
+        assert main(["lint", src_root]) == 0
+        assert "clean" in capsys.readouterr().out
 
     def test_seed_override(self, monkeypatch, capsys):
         import repro.cli as cli_module
