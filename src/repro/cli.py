@@ -8,6 +8,10 @@ Usage::
     python -m repro report --jobs 8 --cache-dir ~/.cache/repro
     python -m repro quickstart             # end-to-end Vortex demo
     python -m repro lint src               # determinism contract check
+    python -m repro program --cache-dir C  # program + snapshot an array
+    python -m repro serve --cache-dir C --artifact KEY --stdin
+    python -m repro cache stats --cache-dir C
+    python -m repro cache prune --cache-dir C --max-size-mb 100
 
 The report subcommand regenerates the paper's tables/figures at the
 chosen scale and prints (or writes) the combined text report.
@@ -44,12 +48,19 @@ def _write_text(path: str | Path, text: str) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    import repro
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Vortex (DAC'15) reproduction: regenerate the paper's "
             "evaluation or run the end-to-end demo."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {repro.__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -127,6 +138,87 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     add_lint_arguments(lint)
+
+    program = sub.add_parser(
+        "program",
+        help=(
+            "train, program and snapshot a crossbar into the artifact "
+            "cache (prints the artifact key)"
+        ),
+    )
+    program.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory the snapshot is stored in",
+    )
+    program.add_argument(
+        "--scheme", choices=("vortex", "old", "cld"), default="vortex"
+    )
+    program.add_argument(
+        "--image-size", type=int, choices=(7, 14, 28), default=7
+    )
+    program.add_argument("--n-train", type=int, default=300)
+    program.add_argument("--sigma", type=float, default=0.3)
+    program.add_argument("--r-wire", type=float, default=0.0)
+    program.add_argument("--redundancy", type=int, default=8)
+    program.add_argument("--seed", type=int, default=0)
+    program.add_argument(
+        "--ir-mode",
+        choices=("ideal", "reference", "fixed_point", "nodal"),
+        default="ideal",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve inference requests from a programmed-array artifact",
+    )
+    serve.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory holding the snapshot",
+    )
+    serve.add_argument(
+        "--artifact", type=str, required=True,
+        help="artifact key printed by `repro program`",
+    )
+    io_mode = serve.add_mutually_exclusive_group(required=True)
+    io_mode.add_argument(
+        "--stdin", action="store_true",
+        help="read one CSV feature vector per line, answer JSON lines",
+    )
+    io_mode.add_argument(
+        "--port", type=int, default=None,
+        help="serve HTTP on this port (POST /predict, GET /stats)",
+    )
+    serve.add_argument(
+        "--ir-mode",
+        choices=("ideal", "reference", "fixed_point", "nodal"),
+        default=None,
+        help="override the artifact's read model",
+    )
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-queue", type=int, default=128)
+    serve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds",
+    )
+    serve.add_argument("--drift-threshold", type=float, default=0.1)
+    serve.add_argument("--check-every", type=int, default=5)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or prune the artifact cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser(
+        "stats", help="print cache size and composition as JSON"
+    )
+    stats.add_argument("--cache-dir", type=str, required=True)
+    prune = cache_sub.add_parser(
+        "prune", help="evict oldest artifacts down to a size cap"
+    )
+    prune.add_argument("--cache-dir", type=str, required=True)
+    prune.add_argument(
+        "--max-size-mb", type=float, required=True,
+        help="target cache size in megabytes",
+    )
     return parser
 
 
@@ -196,6 +288,198 @@ def _run_quickstart(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_program(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.cache import ArtifactCache
+    from repro.serve import (
+        ProgramConfig,
+        ProgrammedArray,
+        artifact_key,
+        program_array,
+    )
+
+    config = ProgramConfig(
+        scheme=args.scheme,
+        image_size=args.image_size,
+        n_train=args.n_train,
+        sigma=args.sigma,
+        r_wire=args.r_wire,
+        redundancy=args.redundancy,
+        seed=args.seed,
+        ir_mode=args.ir_mode,
+    )
+    cache = ArtifactCache(args.cache_dir)
+    key = artifact_key(config)
+    try:
+        artifact = ProgrammedArray.load(cache, key)
+        status = "cached"
+    except KeyError:
+        artifact = program_array(config)
+        artifact.save(cache, key)
+        status = "programmed"
+    summary = {
+        "key": key,
+        "status": status,
+        "scheme": artifact.scheme,
+        "shape": list(artifact.g_pos.shape),
+        "logical_rows": artifact.n_logical,
+        "training_rate": artifact.metadata.get("training_rate"),
+    }
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0
+
+
+def _build_service(args: argparse.Namespace):
+    from repro.runtime.cache import ArtifactCache
+    from repro.serve import CrossbarService, DriftPolicy, ProgrammedArray
+
+    cache = ArtifactCache(args.cache_dir)
+    artifact = ProgrammedArray.load(cache, args.artifact)
+    deadline = (
+        None if args.deadline_ms is None else args.deadline_ms / 1e3
+    )
+    return CrossbarService(
+        artifact,
+        ir_mode=args.ir_mode,
+        policy=DriftPolicy(
+            threshold=args.drift_threshold,
+            check_every=args.check_every,
+        ),
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        default_deadline_s=deadline,
+    )
+
+
+def _serve_stdin(service) -> int:
+    """One CSV feature vector per stdin line -> one JSON line out."""
+    import json
+
+    from repro.serve import DeadlineExceededError, ServeOverloadedError
+
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        x = np.array(
+            [float(v) for v in line.replace(",", " ").split()]
+        )
+        try:
+            scores = service.predict(x)
+        except ServeOverloadedError as exc:
+            print(json.dumps(
+                {"error": "overloaded",
+                 "retry_after_s": exc.retry_after_s}
+            ))
+            continue
+        except DeadlineExceededError:
+            print(json.dumps({"error": "deadline_exceeded"}))
+            continue
+        print(json.dumps({
+            "prediction": int(np.argmax(scores)),
+            "scores": [float(s) for s in scores],
+        }))
+    print(
+        json.dumps(service.stats(), sort_keys=True), file=sys.stderr
+    )
+    return 0
+
+
+def _serve_http(service, port: int) -> int:
+    """Minimal stdlib HTTP front end (POST /predict, GET /stats)."""
+    import json
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    from repro.serve import DeadlineExceededError, ServeOverloadedError
+
+    class Handler(BaseHTTPRequestHandler):
+        def _send(self, code: int, payload: dict,
+                  headers: dict | None = None) -> None:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(code)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/stats":
+                self._send(404, {"error": "not found"})
+                return
+            self._send(200, service.stats())
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            if self.path != "/predict":
+                self._send(404, {"error": "not found"})
+                return
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                doc = json.loads(self.rfile.read(length))
+                inputs = np.asarray(doc["inputs"], dtype=float)
+            except (json.JSONDecodeError, KeyError, ValueError):
+                self._send(400, {"error": "bad request"})
+                return
+            try:
+                futures = [service.submit(x) for x in np.atleast_2d(inputs)]
+                scores = [f.result() for f in futures]
+            except ServeOverloadedError as exc:
+                self._send(
+                    503, {"error": "overloaded"},
+                    {"Retry-After": f"{exc.retry_after_s:.3f}"},
+                )
+                return
+            except DeadlineExceededError:
+                self._send(504, {"error": "deadline_exceeded"})
+                return
+            self._send(200, {
+                "predictions": [int(np.argmax(s)) for s in scores],
+            })
+
+        def log_message(self, fmt: str, *log_args) -> None:
+            print(f"serve: {fmt % log_args}", file=sys.stderr)
+
+    server = ThreadingHTTPServer(("127.0.0.1", port), Handler)
+    print(
+        f"serving on http://127.0.0.1:{server.server_address[1]} "
+        "(POST /predict, GET /stats; Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    service = _build_service(args)
+    try:
+        if args.stdin:
+            return _serve_stdin(service)
+        return _serve_http(service, args.port)
+    finally:
+        service.shutdown()
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.cache import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "stats":
+        result = cache.stats()
+    else:
+        result = cache.prune(args.max_size_mb)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -205,6 +489,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_quickstart(args)
     if args.command == "lint":
         return run_lint(args)
+    if args.command == "program":
+        return _run_program(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

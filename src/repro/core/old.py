@@ -149,7 +149,7 @@ def program_pair_open_loop(
     config: OLDConfig | None = None,
     x_reference: np.ndarray | None = None,
     x_calibration: np.ndarray | None = None,
-) -> None:
+) -> tuple[np.ndarray, np.ndarray]:
     """One-shot open-loop programming of a differential pair.
 
     Args:
@@ -162,6 +162,12 @@ def program_pair_open_loop(
         x_calibration: Calibration input batch for the post-programming
             digital gain fit; synthesised from ``x_reference`` when
             omitted.
+
+    Returns:
+        The ``(g_pos, g_neg)`` conductance targets actually issued
+        (IR-compensation included), so callers can persist or re-issue
+        the exact programming later (artifact snapshots, drift-repair
+        reprogramming in :mod:`repro.serve`).
     """
     cfg = config if config is not None else OLDConfig()
     scaler: WeightScaler = pair.scaler
@@ -191,6 +197,7 @@ def program_pair_open_loop(
         pair.set_reference_input(np.asarray(x_reference, dtype=float))
         pair.calibrate_sense(x_calibration)
         pair.calibrate_digital_gains(x_calibration, weights, "reference")
+    return g_pos, g_neg
 
 
 def program_pair_physical(

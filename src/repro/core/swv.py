@@ -149,8 +149,11 @@ def swv_pair(
     centres[0] = 0.0  # the zero-weight bin sits at the g_off baseline
     swv = np.zeros((w.shape[0], tp.shape[0]))
     for u_map, theta in ((u_pos, tp), (u_neg, tn)):
+        # The epsilon absorbs the half-ulp wobble of u = |w| / peak
+        # under a global weight rescaling: a magnitude sitting exactly
+        # on a bin edge must land in the same bin at every scale.
         bin_idx = np.minimum(
-            (u_map * magnitude_bins).astype(int), magnitude_bins - 1
+            (u_map * magnitude_bins + 1e-6).astype(int), magnitude_bins - 1
         )
         for k in range(magnitude_bins):
             mask = (bin_idx == k).astype(float)

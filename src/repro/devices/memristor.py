@@ -63,6 +63,10 @@ class MemristorArray:
             variation if variation is not None else VariationConfig(),
             ensure_rng(rng, "repro.devices.memristor.MemristorArray"),
         )
+        # Monotone counter bumped on every state/defect write; consumers
+        # (e.g. the crossbar's cached nodal factorisation) compare it to
+        # detect that their view of the conductances went stale.
+        self.state_version = 0
         # Fabrication: one persistent theta and defect flag per device.
         self.theta = self.variation.sample_parametric_theta(self.shape)
         self.defects = self.variation.sample_defects(self.shape)
@@ -72,6 +76,26 @@ class MemristorArray:
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
+    @property
+    def state(self) -> np.ndarray:
+        """Internal switching states in [0, 1], shape ``shape``."""
+        return self._state
+
+    @state.setter
+    def state(self, value: np.ndarray) -> None:
+        self._state = value
+        self.state_version += 1
+
+    @property
+    def defects(self) -> np.ndarray:
+        """Stuck-at defect map (0 healthy, +1 LRS, -1 HRS)."""
+        return self._defects
+
+    @defects.setter
+    def defects(self, value: np.ndarray) -> None:
+        self._defects = value
+        self.state_version += 1
+
     @property
     def conductance(self) -> np.ndarray:
         """Actual cell conductances (S), honouring stuck-at defects."""
@@ -167,6 +191,53 @@ class MemristorArray:
     def reset_to_hrs(self) -> None:
         """Erase: return every healthy cell to HRS."""
         self.state = np.zeros(self.shape, dtype=float)
+
+    def restore_state(
+        self,
+        conductance: np.ndarray | None = None,
+        theta: np.ndarray | None = None,
+        defects: np.ndarray | None = None,
+    ) -> None:
+        """Overwrite device state from a persisted snapshot, noise-free.
+
+        Unlike :meth:`program_conductance`, nothing stochastic happens:
+        the internal states are set so that the array reproduces the
+        snapshot conductances exactly.  Used when a serving process
+        reconstructs a programmed crossbar from an artifact bundle
+        (:mod:`repro.serve.artifact`) -- programming already happened
+        elsewhere, restoring must not redraw any variation.
+
+        Args:
+            conductance: Cell conductances to reproduce (clipped into
+                the physical range).
+            theta: Persistent variation map to adopt (kept for later
+                re-pretests / remaps on the restored array).
+            defects: Stuck-at defect map to adopt.
+        """
+        if theta is not None:
+            theta = np.asarray(theta, dtype=float)
+            if theta.shape != self.shape:
+                raise ValueError(
+                    f"theta shape {theta.shape} != array shape {self.shape}"
+                )
+            self.theta = theta
+        if defects is not None:
+            defects = np.asarray(defects, dtype=int)
+            if defects.shape != self.shape:
+                raise ValueError(
+                    f"defects shape {defects.shape} != array shape "
+                    f"{self.shape}"
+                )
+            self.defects = defects
+        if conductance is not None:
+            g = np.asarray(conductance, dtype=float)
+            if g.shape != self.shape:
+                raise ValueError(
+                    f"conductance shape {g.shape} != array shape "
+                    f"{self.shape}"
+                )
+            d = self.device
+            self.state = self.switching.state_of(np.clip(g, d.g_off, d.g_on))
 
     def is_stuck(self) -> np.ndarray:
         """Boolean mask of defective cells."""

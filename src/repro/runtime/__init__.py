@@ -32,7 +32,9 @@ from repro.runtime.executor import (
     trial_seed_sequence,
 )
 from repro.runtime.telemetry import (
+    DriftEvent,
     ExperimentRecord,
+    RequestRecord,
     RunLog,
     TrialBatch,
     current_run_log,
@@ -41,7 +43,9 @@ from repro.runtime.telemetry import (
 
 __all__ = [
     "ArtifactCache",
+    "DriftEvent",
     "ExperimentRecord",
+    "RequestRecord",
     "RunLog",
     "RuntimeConfig",
     "TrialBatch",

@@ -189,6 +189,84 @@ class ArtifactCache:
         )
         return path
 
+    # -- maintenance ---------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Every artifact file in the cache (stale ``.tmp`` included)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.glob("*/*") if p.is_file())
+
+    def stats(self) -> dict:
+        """Size and composition summary of the on-disk cache."""
+        files = self.entries()
+        by_suffix: dict[str, int] = {}
+        total = 0
+        keys = set()
+        for path in files:
+            total += path.stat().st_size
+            by_suffix[path.suffix] = by_suffix.get(path.suffix, 0) + 1
+            if path.suffix in (".json", ".npz"):
+                keys.add(path.stem)
+        return {
+            "root": str(self.root),
+            "files": len(files),
+            "keys": len(keys),
+            "total_bytes": total,
+            "by_suffix": dict(sorted(by_suffix.items())),
+        }
+
+    def prune(self, max_size_mb: float) -> dict:
+        """Evict oldest entries until the cache fits under a size cap.
+
+        Files sharing a key (the ``.json`` / ``.npz`` halves of one
+        artifact) are evicted together -- a half-deleted artifact would
+        read as a confusing partial miss.  Eviction order is
+        oldest-by-mtime (of the newest file in each group), so recently
+        refreshed artifacts survive.
+
+        Args:
+            max_size_mb: Target cache size in megabytes (>= 0).
+
+        Returns:
+            A summary dict with ``removed_keys``, ``removed_files``,
+            ``freed_bytes`` and ``total_bytes`` after pruning.
+        """
+        if max_size_mb < 0:
+            raise ValueError(f"max_size_mb must be >= 0, got {max_size_mb}")
+        cap = int(max_size_mb * 1024 * 1024)
+        groups: dict[str, list[Path]] = {}
+        for path in self.entries():
+            groups.setdefault(path.stem, []).append(path)
+        sized = []
+        total = 0
+        for stem, paths in groups.items():
+            size = sum(p.stat().st_size for p in paths)
+            mtime = max(p.stat().st_mtime for p in paths)
+            total += size
+            sized.append((mtime, stem, paths, size))
+        sized.sort(key=lambda item: (item[0], item[1]))
+        removed_keys = 0
+        removed_files = 0
+        freed = 0
+        for _, _, paths, size in sized:
+            if total <= cap:
+                break
+            for path in paths:
+                try:
+                    path.unlink()
+                    removed_files += 1
+                except OSError:
+                    continue
+            removed_keys += 1
+            total -= size
+            freed += size
+        return {
+            "removed_keys": removed_keys,
+            "removed_files": removed_files,
+            "freed_bytes": freed,
+            "total_bytes": total,
+        }
+
 
 def get_cache() -> ArtifactCache | None:
     """The cache implied by the ambient runtime config, if any.

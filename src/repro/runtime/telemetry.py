@@ -26,12 +26,15 @@ import contextlib
 import contextvars
 import dataclasses
 import json
+import math
 import time
 from typing import Callable, Iterator
 
 __all__ = [
     "TrialBatch",
     "ExperimentRecord",
+    "RequestRecord",
+    "DriftEvent",
     "RunLog",
     "current_run_log",
     "use_run_log",
@@ -83,6 +86,47 @@ class ExperimentRecord:
 
 
 @dataclasses.dataclass
+class RequestRecord:
+    """Telemetry for one inference request served by ``repro.serve``.
+
+    Attributes:
+        latency_s: Submit-to-result wall time.
+        queue_s: Portion of the latency spent waiting in the queue.
+        batch_size: Size of the microbatch the request rode in.
+        ok: ``False`` when the request was dropped (deadline exceeded,
+            shutdown) instead of answered.
+    """
+
+    latency_s: float
+    queue_s: float = 0.0
+    batch_size: int = 1
+    ok: bool = True
+
+
+@dataclasses.dataclass
+class DriftEvent:
+    """Telemetry for one drift-monitor check that crossed a threshold.
+
+    Attributes:
+        discrepancy: Probe-set discrepancy that tripped the monitor
+            (the Fig. 2 relative column-output error, measured against
+            the programming-time baseline).
+        threshold: Policy threshold in force.
+        action: What the monitor did: ``'remap'`` (AMP re-pretest and
+            reprogram) or ``'alert'`` (detected but no repair path).
+        defects: Defect counts reported by the re-pretest, when one ran.
+        recovered_discrepancy: Probe discrepancy re-measured after the
+            action (``None`` when no repair ran).
+    """
+
+    discrepancy: float
+    threshold: float
+    action: str
+    defects: dict = dataclasses.field(default_factory=dict)
+    recovered_discrepancy: float | None = None
+
+
+@dataclasses.dataclass
 class RunLog:
     """Structured log of one engine run.
 
@@ -97,6 +141,8 @@ class RunLog:
         default_factory=list
     )
     batches: list[TrialBatch] = dataclasses.field(default_factory=list)
+    requests: list[RequestRecord] = dataclasses.field(default_factory=list)
+    drift_events: list[DriftEvent] = dataclasses.field(default_factory=list)
     progress: ProgressCallback | None = None
 
     # -- recording -----------------------------------------------------
@@ -129,6 +175,38 @@ class RunLog:
         self.batches.append(batch)
         return batch
 
+    def record_request(
+        self,
+        latency_s: float,
+        queue_s: float = 0.0,
+        batch_size: int = 1,
+        ok: bool = True,
+    ) -> RequestRecord:
+        record = RequestRecord(
+            latency_s=latency_s, queue_s=queue_s, batch_size=batch_size,
+            ok=ok,
+        )
+        self.requests.append(record)
+        return record
+
+    def record_drift(
+        self,
+        discrepancy: float,
+        threshold: float,
+        action: str,
+        defects: dict | None = None,
+        recovered_discrepancy: float | None = None,
+    ) -> DriftEvent:
+        event = DriftEvent(
+            discrepancy=discrepancy,
+            threshold=threshold,
+            action=action,
+            defects=dict(defects) if defects else {},
+            recovered_discrepancy=recovered_discrepancy,
+        )
+        self.drift_events.append(event)
+        return event
+
     def report_progress(self, label: str, done: int, total: int) -> None:
         if self.progress is not None:
             self.progress(label, done, total)
@@ -159,6 +237,46 @@ class RunLog:
     @property
     def total_trials(self) -> int:
         return sum(b.trials for b in self.batches)
+
+    @property
+    def dropped_requests(self) -> int:
+        return sum(1 for r in self.requests if not r.ok)
+
+    def latency_percentiles(
+        self, quantiles: tuple[int, ...] = (50, 95, 99)
+    ) -> dict[str, float]:
+        """Nearest-rank latency percentiles over answered requests."""
+        latencies = sorted(r.latency_s for r in self.requests if r.ok)
+        if not latencies:
+            return {f"p{q}": 0.0 for q in quantiles}
+        out = {}
+        for q in quantiles:
+            rank = max(1, math.ceil(q / 100.0 * len(latencies)))
+            out[f"p{q}"] = latencies[rank - 1]
+        return out
+
+    def serve_summary(self) -> dict:
+        """Aggregate serving telemetry (latency, drops, drift)."""
+        answered = [r for r in self.requests if r.ok]
+        total_latency = sum(r.latency_s for r in answered)
+        summary = {
+            "requests": len(self.requests),
+            "answered": len(answered),
+            "dropped": self.dropped_requests,
+            "mean_latency_s": (
+                total_latency / len(answered) if answered else 0.0
+            ),
+            "mean_batch_size": (
+                sum(r.batch_size for r in answered) / len(answered)
+                if answered else 0.0
+            ),
+            "drift_events": len(self.drift_events),
+            "remaps": sum(
+                1 for e in self.drift_events if e.action == "remap"
+            ),
+        }
+        summary.update(self.latency_percentiles())
+        return summary
 
     # -- rendering -----------------------------------------------------
     def render_summary(self) -> str:
@@ -200,6 +318,15 @@ class RunLog:
             f"total {total:.2f}s over {len(self.experiments)} experiments, "
             f"{self.total_trials} Monte-Carlo trials"
         )
+        if self.requests:
+            s = self.serve_summary()
+            lines.append(
+                f"serve {s['answered']}/{s['requests']} answered "
+                f"({s['dropped']} dropped), "
+                f"p50 {s['p50'] * 1e3:.2f}ms p95 {s['p95'] * 1e3:.2f}ms "
+                f"p99 {s['p99'] * 1e3:.2f}ms, "
+                f"{s['drift_events']} drift events ({s['remaps']} remaps)"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -210,9 +337,13 @@ class RunLog:
                     dataclasses.asdict(r) for r in self.experiments
                 ],
                 "batches": [dataclasses.asdict(b) for b in self.batches],
+                "drift_events": [
+                    dataclasses.asdict(e) for e in self.drift_events
+                ],
                 "recomputed_experiments": self.recomputed_experiments,
                 "cached_experiments": self.cached_experiments,
                 "total_trials": self.total_trials,
+                "serve": self.serve_summary() if self.requests else None,
             },
             indent=2,
             sort_keys=True,

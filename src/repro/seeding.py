@@ -42,12 +42,20 @@ def fallback_rng(context: str) -> np.random.Generator:
 
 
 def ensure_rng(
-    rng: np.random.Generator | np.random.SeedSequence | int | None,
+    rng: (
+        np.random.Generator
+        | np.random.BitGenerator
+        | np.random.SeedSequence
+        | int
+        | None
+    ),
     context: str,
 ) -> np.random.Generator:
     """Coerce an ``rng`` argument into a :class:`~numpy.random.Generator`.
 
-    Accepts a ready generator (returned as-is), an integer seed or a
+    Accepts a ready generator (returned as-is), a
+    :class:`~numpy.random.BitGenerator` (wrapped without reseeding, so
+    its stream position is preserved), an integer seed or a
     :class:`~numpy.random.SeedSequence` (wrapped), or ``None`` — the
     deprecated path, which warns and uses the fixed fallback seed.
 
@@ -59,4 +67,6 @@ def ensure_rng(
         return fallback_rng(context)
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, np.random.BitGenerator):
+        return np.random.Generator(rng)
     return np.random.default_rng(rng)

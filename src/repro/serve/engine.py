@@ -1,0 +1,118 @@
+"""Vectorized batched forward pass over a programmed crossbar.
+
+The expensive part of a hardware-faithful read is the IR-drop solve:
+one sparse nodal factorization per crossbar state, one triangular
+solve per input vector.  Reading queries one at a time pays the Python
+and solver dispatch overhead per query; reading them as a matrix lets
+one factorization serve the whole batch (multi-right-hand-side solve),
+which is where the serving throughput comes from.
+
+The engine wraps any matvec-capable target (a
+:class:`~repro.xbar.pair.DifferentialCrossbar` or a
+:class:`~repro.xbar.tiling.TiledPair`), routes logical inputs through
+the AMP permutation, and chunks very large batches into microbatches
+so the multi-RHS solves stay memory-bounded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.amp import RowMapping
+from repro.serve.artifact import ProgrammedArray
+
+__all__ = ["InferenceEngine"]
+
+
+class InferenceEngine:
+    """Batched inference over a programmed (possibly tiled) pair.
+
+    Args:
+        target: Programmed hardware exposing ``matvec(x, ir_mode)``.
+        mapping: AMP input routing; identity when ``None``.
+        ir_mode: Read-fidelity model for every forward pass.
+        microbatch: Maximum rows per hardware read; larger input
+            batches are chunked to bound the multi-RHS solve size.
+    """
+
+    def __init__(
+        self,
+        target,
+        mapping: RowMapping | None = None,
+        ir_mode: str = "ideal",
+        microbatch: int = 64,
+    ):
+        if microbatch < 1:
+            raise ValueError(f"microbatch must be >= 1, got {microbatch}")
+        self.target = target
+        self.mapping = mapping
+        self.ir_mode = ir_mode
+        self.microbatch = int(microbatch)
+
+    @classmethod
+    def from_artifact(
+        cls,
+        artifact: ProgrammedArray,
+        ir_mode: str | None = None,
+        microbatch: int = 64,
+    ) -> "InferenceEngine":
+        """Reconstruct the hardware from a snapshot and wrap it."""
+        return cls(
+            target=artifact.build_pair(),
+            mapping=artifact.mapping,
+            ir_mode=ir_mode if ir_mode is not None else artifact.ir_mode,
+            microbatch=microbatch,
+        )
+
+    @property
+    def n_features(self) -> int:
+        """Logical input width the engine accepts."""
+        if self.mapping is not None:
+            return self.mapping.n_logical
+        return self.target.shape[0]
+
+    def replace_mapping(self, mapping: RowMapping) -> None:
+        """Swap the input routing (after a drift-triggered remap)."""
+        if (
+            self.mapping is not None
+            and mapping.n_logical != self.mapping.n_logical
+        ):
+            raise ValueError(
+                f"new mapping has {mapping.n_logical} logical rows, "
+                f"engine serves {self.mapping.n_logical}"
+            )
+        self.mapping = mapping
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Weight-domain scores for a batch of logical inputs.
+
+        Args:
+            x: Inputs in [0, 1], ``(n_features,)`` or
+                ``(s, n_features)``.
+
+        Returns:
+            Scores ``(cols,)`` or ``(s, cols)``.
+        """
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        xb = x[None, :] if single else x
+        if xb.shape[1] != self.n_features:
+            raise ValueError(
+                f"input width {xb.shape[1]} != engine width "
+                f"{self.n_features}"
+            )
+        chunks = []
+        for start in range(0, xb.shape[0], self.microbatch):
+            chunk = xb[start : start + self.microbatch]
+            if self.mapping is not None:
+                chunk = self.mapping.inputs_to_physical(chunk)
+            chunks.append(self.target.matvec(chunk, self.ir_mode))
+        scores = np.concatenate(chunks, axis=0)
+        return scores[0] if single else scores
+
+    def predict(self, x: np.ndarray) -> np.ndarray | int:
+        """Argmax class prediction(s) for logical input(s)."""
+        scores = self.forward(x)
+        if scores.ndim == 1:
+            return int(np.argmax(scores))
+        return np.argmax(scores, axis=1)

@@ -1,0 +1,142 @@
+"""Drift monitoring: replay probes, compare to the programmed baseline.
+
+A programmed crossbar degrades in service: retention drift relaxes the
+conductances toward HRS and devices can fail stuck-at.  Both surface
+the same way the paper's Fig. 2 surfaces fabrication variation --
+as a growing relative discrepancy between the column outputs and what
+the deployer expects.  The monitor replays a fixed probe set between
+request batches, measures exactly that discrepancy against the
+*programming-time* baseline, and invokes a repair callback (AMP
+re-pretest + remap + reprogram, see
+:class:`repro.serve.service.CrossbarService`) when the policy
+threshold is crossed.
+
+The baseline is never refreshed after a repair: recovery is only
+claimed when the array again produces the outputs it produced when it
+was first programmed, not merely when it stops getting worse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.telemetry import DriftEvent, RunLog, current_run_log
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["DriftMonitor", "DriftPolicy"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftPolicy:
+    """When to check for drift and when to act on it.
+
+    Attributes:
+        threshold: Relative probe discrepancy that triggers action
+            (the Fig. 2 metric: mean |y - y0| over mean |y0|).
+        check_every: Request batches between probe replays; probes
+            cost a hardware read, so checking every batch would tax
+            throughput.
+        defect_theta_cutoff: |theta| above which a re-pretested device
+            is counted as a stuck-at defect in the repair report.
+    """
+
+    threshold: float = 0.1
+    check_every: int = 5
+    defect_theta_cutoff: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError(
+                f"threshold must be > 0, got {self.threshold}"
+            )
+        if self.check_every < 1:
+            raise ValueError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+
+
+class DriftMonitor:
+    """Probe-replay health check with an optional repair path.
+
+    Callable so it plugs directly into
+    :class:`~repro.serve.scheduler.BatchScheduler`'s ``on_batch`` hook.
+
+    Args:
+        engine: Engine whose hardware is being watched (the probes run
+            through the same routed, microbatched read path requests
+            use).
+        probes: Logical probe inputs ``(p, n_features)``.
+        baseline: Programming-time probe outputs ``(p, cols)``.
+        policy: Thresholds and cadence.
+        repair: Callback invoked on a threshold crossing; returns a
+            defect-count dict for the telemetry record.  When ``None``
+            the monitor only records an alert.
+        log: Telemetry sink; ambient run log (or a private one) when
+            omitted.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        probes: np.ndarray,
+        baseline: np.ndarray,
+        policy: DriftPolicy | None = None,
+        repair: Callable[[], dict] | None = None,
+        log: RunLog | None = None,
+    ):
+        self.engine = engine
+        self.probes = np.asarray(probes, dtype=float)
+        self.baseline = np.asarray(baseline, dtype=float)
+        if self.probes.shape[0] != self.baseline.shape[0]:
+            raise ValueError(
+                f"{self.probes.shape[0]} probes but "
+                f"{self.baseline.shape[0]} baseline rows"
+            )
+        self.policy = policy if policy is not None else DriftPolicy()
+        self.repair = repair
+        ambient = current_run_log()
+        self.log = log if log is not None else (
+            ambient if ambient is not None else RunLog()
+        )
+        self._batches_seen = 0
+
+    def discrepancy(self) -> float:
+        """Current probe discrepancy vs the programming-time baseline.
+
+        The paper's Fig. 2 column-output metric: mean absolute output
+        deviation normalised by the mean absolute baseline output.
+        """
+        y = self.engine.forward(self.probes)
+        denom = float(np.mean(np.abs(self.baseline)))
+        if denom == 0.0:
+            return float(np.mean(np.abs(y)))
+        return float(np.mean(np.abs(y - self.baseline)) / denom)
+
+    def check(self) -> DriftEvent | None:
+        """Replay the probes; act and record if over threshold."""
+        value = self.discrepancy()
+        if value <= self.policy.threshold:
+            return None
+        if self.repair is None:
+            return self.log.record_drift(
+                discrepancy=value,
+                threshold=self.policy.threshold,
+                action="alert",
+            )
+        defects = self.repair()
+        return self.log.record_drift(
+            discrepancy=value,
+            threshold=self.policy.threshold,
+            action="remap",
+            defects=defects,
+            recovered_discrepancy=self.discrepancy(),
+        )
+
+    def __call__(self) -> None:
+        """Per-batch hook: check every ``policy.check_every`` batches."""
+        self._batches_seen += 1
+        if self._batches_seen % self.policy.check_every == 0:
+            self.check()

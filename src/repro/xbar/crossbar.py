@@ -25,6 +25,22 @@ __all__ = ["Crossbar", "IR_MODES"]
 IR_MODES = ("ideal", "reference", "fixed_point", "nodal")
 
 
+def _batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """``x @ g`` with per-row results independent of the batch size.
+
+    BLAS picks different kernels and blocking for different operand
+    shapes, so with ``@`` the same input vector can produce last-ulp
+    different outputs alone versus inside a batch.  The serving
+    contract (a batched read is bit-identical to looping single-vector
+    reads) needs a fixed accumulation order; einsum's non-BLAS loop
+    provides one at a cost that is negligible next to any IR-aware
+    solve.
+    """
+    if x.ndim == 1:
+        return np.einsum("n,nm->m", x, g)
+    return np.einsum("sn,nm->sm", x, g)
+
+
 class Crossbar:
     """An ``n x m`` memristor crossbar with configurable read fidelity.
 
@@ -64,6 +80,12 @@ class Crossbar:
         self.sense = sense
         self._reference_factors: np.ndarray | None = None
         self._reference_input: np.ndarray | None = None
+        # Cached read models, valid only for one device state: the
+        # version stamp detects any state change (programming, aging,
+        # defect injection) and forces a rebuild.
+        self._network: CrossbarNetwork | None = None
+        self._network_version: int = -1
+        self._reference_version: int = -1
 
     # ------------------------------------------------------------------
     # basic properties
@@ -114,7 +136,8 @@ class Crossbar:
 
     def _get_reference_factors(self) -> np.ndarray:
         """Per-column gain factors of the fast ``'reference'`` model."""
-        if self._reference_factors is None:
+        version = self.array.state_version
+        if self._reference_factors is None or self._reference_version != version:
             x_ref = self._reference_input
             if x_ref is None:
                 x_ref = np.full(self.shape[0], 0.5)
@@ -124,7 +147,25 @@ class Crossbar:
                 self.config.r_wire,
                 self.config.v_read,
             )
+            self._reference_version = version
         return self._reference_factors
+
+    def _get_network(self) -> CrossbarNetwork:
+        """Nodal network of the current state, factorisation cached.
+
+        The sparse LU factor is the dominant cost of a nodal read;
+        caching it keyed on the device-state version means a batch of
+        queries against an unchanged programmed state pays for one
+        factorisation, while any reprogramming, drift aging or defect
+        injection transparently invalidates it.
+        """
+        version = self.array.state_version
+        if self._network is None or self._network_version != version:
+            self._network = CrossbarNetwork(
+                self.conductance, self.config.r_wire
+            )
+            self._network_version = version
+        return self._network
 
     def read(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
         """Sensed bit-line currents for input(s) ``x`` in [0, 1].
@@ -142,21 +183,19 @@ class Crossbar:
         g = self.conductance
         v_read = self.config.v_read
         if ir_mode == "ideal" or self.config.r_wire == 0:
-            currents = v_read * (x @ g)
+            currents = v_read * _batch_invariant_matmul(x, g)
         elif ir_mode == "reference":
-            currents = v_read * (x @ g) * self._get_reference_factors()
+            currents = (
+                v_read
+                * _batch_invariant_matmul(x, g)
+                * self._get_reference_factors()
+            )
         elif ir_mode == "fixed_point":
             currents = read_output_currents(
                 g, x, self.config.r_wire, v_read
             )
         else:  # nodal
-            network = CrossbarNetwork(g, self.config.r_wire)
-            if x.ndim == 1:
-                currents = network.read(x, v_read)
-            else:
-                currents = np.stack(
-                    [network.read(row, v_read) for row in x]
-                )
+            currents = self._get_network().read_batch(x, v_read)
         if self.sense is not None:
             currents = self.sense.sense(currents)
         return currents

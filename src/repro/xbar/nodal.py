@@ -226,6 +226,43 @@ class CrossbarNetwork:
             raise ValueError(f"x must have shape ({self.n},), got {x.shape}")
         return self.solve(x * v_read, 0.0).column_current
 
+    def read_batch(self, x: np.ndarray, v_read: float = 1.0) -> np.ndarray:
+        """Column output currents for a batch of read inputs.
+
+        One sparse factorisation serves the whole batch: the LU factor
+        of the network Laplacian depends only on the conductance state,
+        so ``s`` inputs are solved as ``s`` right-hand sides of the same
+        factor.  This is what makes batched inference serving cheap --
+        the dominant cost of a nodal read (the factorisation) is paid
+        once per programmed state rather than once per query.
+
+        Args:
+            x: Inputs in [0, 1], shape ``(s, n)`` or a single ``(n,)``.
+            v_read: Read voltage scale.
+
+        Returns:
+            Currents, shape ``(s, m)`` (or ``(m,)`` for 1-D input).
+        """
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        xb = np.atleast_2d(x)
+        if xb.shape[1] != self.n:
+            raise ValueError(
+                f"inputs must have {self.n} features, got {xb.shape[1]}"
+            )
+        if self._lu is None:
+            self._assemble()
+        n, m = self.n, self.m
+        g_w = 1.0 / self.r_wire
+        rhs = np.zeros((2 * n * m, xb.shape[0]))
+        left = self._top(np.arange(n), np.zeros(n, dtype=int))
+        rhs[left, :] = (xb * v_read).T * g_w
+        v = self._lu.solve(rhs)
+        bottom = self._bottom(np.full(m, n - 1), np.arange(m))
+        # Bit lines are virtually grounded during reads (v_cols = 0).
+        i_col = v[bottom, :] * g_w
+        return i_col[:, 0] if single else i_col.T
+
     def program_voltages(
         self, row: int, col: int, v_prog: float
     ) -> NodalSolution:

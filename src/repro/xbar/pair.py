@@ -90,6 +90,26 @@ class DifferentialCrossbar:
         self.negative.program(g_neg, with_cycle_noise)
         self.digital_gains = None
 
+    def restore_conductances(
+        self,
+        g_pos: np.ndarray,
+        g_neg: np.ndarray,
+        theta_pos: np.ndarray | None = None,
+        theta_neg: np.ndarray | None = None,
+        defects_pos: np.ndarray | None = None,
+        defects_neg: np.ndarray | None = None,
+    ) -> None:
+        """Noise-free restore of both arrays from a persisted snapshot.
+
+        The counterpart of :meth:`program_conductances` for artifact
+        loading (:mod:`repro.serve.artifact`): the devices adopt the
+        snapshot conductances, variation maps and defect maps exactly,
+        without any programming stochasticity, so a serving process
+        reconstructs the programmed hardware bit-for-bit.
+        """
+        self.positive.array.restore_state(g_pos, theta_pos, defects_pos)
+        self.negative.array.restore_state(g_neg, theta_neg, defects_neg)
+
     def effective_weights(self) -> np.ndarray:
         """Signed weights actually realised by the programmed devices."""
         return self.scaler.pair_to_weights(

@@ -172,5 +172,9 @@ def execute_plan(
         )
 
     healthy = array.defects == 0
-    array.state[healthy] = state[healthy]
+    # Full reassignment (not an in-place slice write) so the array's
+    # state version bumps and cached read models invalidate.
+    new_state = array.state.copy()
+    new_state[healthy] = state[healthy]
+    array.state = new_state
     return array.conductance

@@ -119,3 +119,86 @@ class TestAmbientCache:
             RuntimeConfig(cache_dir=tmp_path, use_cache=False)
         ):
             assert get_cache() is None
+
+
+class TestCacheMaintenance:
+    def fill(self, cache: ArtifactCache, n: int = 4) -> list[str]:
+        keys = []
+        for i in range(n):
+            key = stable_key("mc", {"entry": i})
+            cache.put_json(key, {"i": i})
+            cache.put_arrays(key, values=np.arange(64) + i)
+            keys.append(key)
+        return keys
+
+    def test_stats_counts_files_keys_and_bytes(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self.fill(cache, 3)
+        stats = cache.stats()
+        assert stats["files"] == 6
+        assert stats["keys"] == 3
+        assert stats["by_suffix"] == {".json": 3, ".npz": 3}
+        assert stats["total_bytes"] > 0
+        assert stats["root"] == str(tmp_path)
+
+    def test_stats_on_empty_cache(self, tmp_path):
+        stats = ArtifactCache(tmp_path / "nope").stats()
+        assert stats["files"] == 0
+        assert stats["keys"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_prune_evicts_oldest_whole_artifacts(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path)
+        keys = self.fill(cache, 4)
+        # Age the first two artifacts so eviction order is unambiguous.
+        for age, key in ((400, keys[0]), (300, keys[1])):
+            for suffix in (".json", ".npz"):
+                path = cache._path(key, suffix)
+                stamp = path.stat().st_mtime - age
+                os.utime(path, (stamp, stamp))
+        def group_bytes(key: str) -> int:
+            return sum(
+                cache._path(key, s).stat().st_size
+                for s in (".json", ".npz")
+            )
+
+        # Cap sized so exactly the two aged artifacts must go.
+        cap_bytes = (
+            cache.stats()["total_bytes"]
+            - group_bytes(keys[0])
+            - group_bytes(keys[1])
+        )
+        target_mb = (cap_bytes + 1) / (1024 * 1024)
+        result = cache.prune(target_mb)
+        assert result["removed_keys"] == 2
+        assert result["removed_files"] == 4
+        assert result["freed_bytes"] > 0
+        assert result["total_bytes"] <= target_mb * 1024 * 1024
+        # Both halves of each evicted artifact are gone; the newest
+        # artifacts survive intact.
+        assert cache.get_json(keys[0]) is None
+        assert cache.get_arrays(keys[0]) is None
+        cache.misses = 0
+        assert cache.get_json(keys[3]) == {"i": 3}
+        assert cache.get_arrays(keys[3]) is not None
+
+    def test_prune_noop_when_under_cap(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        keys = self.fill(cache, 2)
+        result = cache.prune(1000.0)
+        assert result["removed_keys"] == 0
+        assert result["freed_bytes"] == 0
+        assert cache.get_json(keys[0]) is not None
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self.fill(cache, 3)
+        result = cache.prune(0.0)
+        assert result["total_bytes"] == 0
+        assert cache.stats()["files"] == 0
+
+    def test_prune_rejects_negative_cap(self, tmp_path):
+        with pytest.raises(ValueError, match="max_size_mb"):
+            ArtifactCache(tmp_path).prune(-1.0)

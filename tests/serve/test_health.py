@@ -1,0 +1,143 @@
+"""Drift monitoring and the re-pretest + remap repair round trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devices.defects import STUCK_AT_HRS, STUCK_AT_LRS
+from repro.devices.retention import RetentionConfig, age_pair
+from repro.runtime.telemetry import RunLog
+from repro.serve.artifact import ProgramConfig, program_array
+from repro.serve.engine import InferenceEngine
+from repro.serve.health import DriftMonitor, DriftPolicy
+from repro.serve.service import CrossbarService
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return program_array(
+        ProgramConfig(
+            scheme="vortex", image_size=7, n_train=200, sigma=0.15,
+            seed=5, redundancy=12,
+        )
+    )
+
+
+def drift_the_pair(pair, stuck=((3, 2), (10, 5))) -> None:
+    """Heavy retention aging plus a couple of stuck-open cells."""
+    age_pair(
+        pair, 3e5,
+        RetentionConfig(nu_median=0.05, nu_sigma=0.5),
+        np.random.default_rng(11),
+    )
+    defects = pair.positive.array.defects.copy()
+    for row, col in stuck:
+        defects[row, col] = STUCK_AT_HRS
+    pair.positive.array.defects = defects
+
+
+class TestDriftPolicy:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError, match="threshold"):
+            DriftPolicy(threshold=0.0)
+        with pytest.raises(ValueError, match="check_every"):
+            DriftPolicy(check_every=0)
+
+
+class TestDriftMonitor:
+    def test_fresh_restore_has_zero_discrepancy(self, artifact):
+        monitor = DriftMonitor(
+            InferenceEngine.from_artifact(artifact),
+            probes=artifact.probes,
+            baseline=artifact.baseline,
+            log=RunLog(),
+        )
+        assert monitor.discrepancy() == 0.0
+        assert monitor.check() is None
+        assert monitor.log.drift_events == []
+
+    def test_alert_without_repair_path(self, artifact):
+        engine = InferenceEngine.from_artifact(artifact)
+        drift_the_pair(engine.target)
+        log = RunLog()
+        monitor = DriftMonitor(
+            engine, artifact.probes, artifact.baseline,
+            policy=DriftPolicy(threshold=0.08), log=log,
+        )
+        event = monitor.check()
+        assert event is not None and event.action == "alert"
+        assert event.discrepancy > 0.08
+        assert event.recovered_discrepancy is None
+
+    def test_cadence_respects_check_every(self, artifact):
+        engine = InferenceEngine.from_artifact(artifact)
+        drift_the_pair(engine.target)
+        log = RunLog()
+        monitor = DriftMonitor(
+            engine, artifact.probes, artifact.baseline,
+            policy=DriftPolicy(threshold=0.08, check_every=4), log=log,
+        )
+        for _ in range(3):
+            monitor()
+        assert log.drift_events == []  # not yet at the 4th batch
+        monitor()
+        assert len(log.drift_events) == 1
+
+    def test_probe_baseline_shape_mismatch_rejected(self, artifact):
+        with pytest.raises(ValueError, match="baseline"):
+            DriftMonitor(
+                InferenceEngine.from_artifact(artifact),
+                probes=artifact.probes,
+                baseline=artifact.baseline[:-1],
+            )
+
+
+class TestRemapRoundTrip:
+    """Retention drift x stuck-at defects x AMP remap, end to end."""
+
+    def test_drift_triggers_exactly_one_recovering_remap(self, artifact):
+        log = RunLog()
+        service = CrossbarService(
+            artifact,
+            policy=DriftPolicy(threshold=0.08, check_every=2),
+            log=log,
+        )
+        try:
+            assert service.monitor.discrepancy() == 0.0
+            drift_the_pair(service.pair)
+            assert service.monitor.discrepancy() > 0.08
+            for i in range(8):
+                service.predict(
+                    artifact.probes[i % len(artifact.probes)],
+                    timeout=30.0,
+                )
+        finally:
+            service.shutdown()
+        remaps = [e for e in log.drift_events if e.action == "remap"]
+        assert len(remaps) == 1
+        event = remaps[0]
+        assert event.discrepancy > 0.08
+        assert event.recovered_discrepancy is not None
+        assert event.recovered_discrepancy < 0.08
+        # The re-pretest saw both injected stuck-at-HRS cells.
+        assert event.defects["stuck_at_hrs"] >= 2
+        summary = log.serve_summary()
+        assert summary["remaps"] == 1
+        assert summary["dropped"] == 0
+
+    def test_remap_avoids_stuck_cells_with_redundancy(self, artifact):
+        service = CrossbarService(
+            artifact, policy=DriftPolicy(threshold=0.08)
+        )
+        try:
+            # Kill an entire physical row of the positive array: AMP
+            # must route every logical row away from it.
+            dead_row = int(artifact.assignment[0])
+            defects = service.pair.positive.array.defects.copy()
+            defects[dead_row, :] = STUCK_AT_LRS
+            service.pair.positive.array.defects = defects
+            service.remap()
+            assert dead_row not in service.engine.mapping.assignment
+        finally:
+            service.shutdown()

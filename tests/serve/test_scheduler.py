@@ -1,0 +1,144 @@
+"""Scheduler behaviour: batching, backpressure, deadlines, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.telemetry import RunLog
+from repro.serve.scheduler import (
+    BatchScheduler,
+    DeadlineExceededError,
+    ServeOverloadedError,
+)
+
+
+class FakeEngine:
+    """Deterministic stand-in engine: scores = inputs summed per row."""
+
+    def __init__(self, delay_s: float = 0.0, gate: threading.Event | None = None):
+        self.delay_s = delay_s
+        self.gate = gate
+        self.entered = threading.Event()
+        self.batch_sizes: list[int] = []
+
+    @property
+    def n_features(self) -> int:
+        return 4
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self.entered.set()
+        if self.gate is not None:
+            self.gate.wait(timeout=5.0)
+        if self.delay_s:
+            time.sleep(self.delay_s)
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        self.batch_sizes.append(x.shape[0])
+        return np.stack([x.sum(axis=1), -x.sum(axis=1)], axis=1)
+
+
+class TestScheduling:
+    def test_results_match_direct_forward(self):
+        engine = FakeEngine()
+        log = RunLog()
+        rng = np.random.default_rng(0)
+        queries = rng.uniform(size=(20, 4))
+        with BatchScheduler(engine, max_batch=8, log=log) as sched:
+            futures = [sched.submit(q) for q in queries]
+            results = np.stack([f.result(timeout=5.0) for f in futures])
+        direct = np.stack([FakeEngine().forward(q)[0] for q in queries])
+        assert np.array_equal(results, direct)
+        assert len(log.requests) == 20
+        assert log.dropped_requests == 0
+
+    def test_requests_coalesce_into_batches(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        with BatchScheduler(engine, max_batch=16, max_queue=64) as sched:
+            futures = [sched.submit(np.ones(4)) for _ in range(12)]
+            gate.set()
+            for f in futures:
+                f.result(timeout=5.0)
+        # The gate held the worker on the first request, so the other
+        # 11 piled up and were served in (at most) a couple of batches.
+        assert max(engine.batch_sizes) > 1
+
+    def test_full_queue_rejects_with_retry_after(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(engine, max_batch=4, max_queue=2)
+        try:
+            # At most one request can be in flight (held at the gate)
+            # and two queued; seven submissions must overflow.
+            with pytest.raises(ServeOverloadedError) as excinfo:
+                for _ in range(7):
+                    sched.submit(np.ones(4))
+            assert excinfo.value.retry_after_s > 0
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_expired_deadline_drops_request(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        log = RunLog()
+        sched = BatchScheduler(engine, max_batch=8, log=log)
+        blocker = sched.submit(np.ones(4))
+        # Wait until the worker is inside forward() so the doomed
+        # request lands in the *next* batch, after its deadline passed.
+        assert engine.entered.wait(timeout=5.0)
+        doomed = sched.submit(np.ones(4), deadline_s=0.01)
+        time.sleep(0.05)
+        gate.set()
+        assert blocker.result(timeout=5.0) is not None
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=5.0)
+        sched.shutdown()
+        assert log.dropped_requests == 1
+        assert any(not r.ok for r in log.requests)
+
+    def test_graceful_shutdown_answers_queued_requests(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(engine, max_batch=2, max_queue=64)
+        futures = [sched.submit(np.ones(4)) for _ in range(10)]
+        gate.set()
+        sched.shutdown(timeout=5.0)
+        assert all(f.result(timeout=0.0) is not None for f in futures)
+        with pytest.raises(RuntimeError, match="shut down"):
+            sched.submit(np.ones(4))
+
+    def test_engine_error_propagates_to_futures(self):
+        class BrokenEngine(FakeEngine):
+            def forward(self, x):
+                raise ValueError("boom")
+
+        with BatchScheduler(BrokenEngine(), max_batch=4) as sched:
+            future = sched.submit(np.ones(4))
+            with pytest.raises(ValueError, match="boom"):
+                future.result(timeout=5.0)
+
+    def test_on_batch_hook_runs_after_each_batch(self):
+        calls: list[int] = []
+        engine = FakeEngine()
+        sched = BatchScheduler(
+            engine, max_batch=4, on_batch=lambda: calls.append(1)
+        )
+        with sched:
+            for _ in range(3):
+                sched.predict(np.ones(4), timeout=5.0)
+        assert len(calls) == sched.batches_served
+        assert len(calls) >= 3
+
+    def test_latency_percentiles_recorded(self):
+        log = RunLog()
+        with BatchScheduler(FakeEngine(), log=log) as sched:
+            for _ in range(10):
+                sched.predict(np.ones(4), timeout=5.0)
+        summary = log.serve_summary()
+        assert summary["requests"] == 10
+        assert summary["dropped"] == 0
+        assert 0 < summary["p50"] <= summary["p99"]

@@ -229,3 +229,120 @@ class TestMain:
         monkeypatch.setattr(cli_module, "generate_report", spy)
         main(["report", "--experiments", "fig3", "--seed", "99"])
         assert captured["seed"] == 99
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_program_defaults(self):
+        args = build_parser().parse_args(
+            ["program", "--cache-dir", "/tmp/c"]
+        )
+        assert args.command == "program"
+        assert args.scheme == "vortex"
+        assert args.image_size == 7
+        assert args.ir_mode == "ideal"
+
+    def test_serve_requires_io_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--cache-dir", "/tmp/c", "--artifact", "k"]
+            )
+
+    def test_serve_stdin_and_port_are_exclusive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "serve", "--cache-dir", "/tmp/c", "--artifact", "k",
+                "--stdin", "--port", "8080",
+            ])
+
+    def test_cache_prune_requires_size(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cache", "prune", "--cache-dir", "/tmp/c"]
+            )
+
+
+class TestCacheCommands:
+    def test_stats_on_empty_cache(self, tmp_path, capsys):
+        import json
+
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path)]
+        ) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["files"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_stats_and_prune_round_trip(self, tmp_path, capsys):
+        import json
+
+        from repro.runtime.cache import ArtifactCache, stable_key
+
+        cache = ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.put_json(stable_key("t", {"i": i}), {"i": i})
+        main(["cache", "stats", "--cache-dir", str(tmp_path)])
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["keys"] == 3
+        main([
+            "cache", "prune", "--cache-dir", str(tmp_path),
+            "--max-size-mb", "0",
+        ])
+        pruned = json.loads(capsys.readouterr().out)
+        assert pruned["removed_keys"] == 3
+        assert pruned["total_bytes"] == 0
+
+
+class TestProgramAndServe:
+    def test_program_then_serve_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+
+        from repro.runtime.cache import ArtifactCache
+        from repro.serve import ProgrammedArray
+
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "program", "--cache-dir", cache_dir, "--scheme", "old",
+            "--image-size", "7", "--n-train", "120", "--seed", "4",
+        ]
+        assert main(argv) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "programmed"
+        assert summary["scheme"] == "old"
+
+        # Second run with identical settings is a pure cache read.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "cached"
+
+        artifact = ProgrammedArray.load(
+            ArtifactCache(cache_dir), summary["key"]
+        )
+        lines = "\n".join(
+            ",".join(f"{v:.5f}" for v in row)
+            for row in artifact.probes[:3]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines + "\n\n"))
+        assert main([
+            "serve", "--cache-dir", cache_dir,
+            "--artifact", summary["key"], "--stdin",
+        ]) == 0
+        captured = capsys.readouterr()
+        answers = [
+            json.loads(line) for line in captured.out.splitlines() if line
+        ]
+        assert len(answers) == 3
+        assert all(0 <= a["prediction"] <= 9 for a in answers)
+        assert all(len(a["scores"]) == 10 for a in answers)
+        stats = json.loads(captured.err.strip().splitlines()[-1])
+        assert stats["answered"] == 3
+        assert stats["dropped"] == 0
