@@ -25,7 +25,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.runtime.cache import get_cache
-from repro.runtime.executor import map_trials
+from repro.runtime.executor import map_trials, map_trials_batched
 from repro.runtime.telemetry import current_run_log
 
 __all__ = [
@@ -87,6 +87,9 @@ def run_monte_carlo(
     jobs: int | None = None,
     cache_config: Any = None,
     label: str = "montecarlo",
+    batch_trial: Callable[
+        [Sequence[np.random.Generator]], np.ndarray
+    ] | None = None,
 ) -> MonteCarloSummary:
     """Run a trial function over independent random draws.
 
@@ -108,6 +111,13 @@ def run_monte_carlo(
             ambient artifact cache, and matching re-runs skip the
             computation entirely.
         label: Telemetry label for the run log.
+        batch_trial: Optional vectorised kernel that evaluates a whole
+            chunk of per-trial generators at once (see
+            :func:`repro.runtime.executor.map_trials_batched`).  It
+            must be bit-identical to looping ``trial`` -- same draws
+            from the same streams, fixed-accumulation math -- so it is
+            purely an execution strategy: the cache key, the summary
+            and every value stay exactly those of the looped path.
 
     Returns:
         A :class:`MonteCarloSummary` of the collected statistics.
@@ -130,7 +140,12 @@ def run_monte_carlo(
                     label, 0, time.perf_counter() - t0, 1, cache_hit=True
                 )
             return summarize_values(stored["values"])
-    values = map_trials(trial, trials, seed=seed, jobs=jobs, label=label)
+    if batch_trial is not None:
+        values = map_trials_batched(
+            batch_trial, trials, seed=seed, jobs=jobs, label=label
+        )
+    else:
+        values = map_trials(trial, trials, seed=seed, jobs=jobs, label=label)
     if cache is not None:
         cache.put_arrays(key, values=values)
     return summarize_values(values)

@@ -24,6 +24,7 @@ from repro.config import (
     VariationConfig,
 )
 from repro.nn.metrics import rate_from_scores
+from repro.xbar.crossbar import trial_stacked_matmul
 from repro.xbar.mapping import WeightScaler
 from repro.xbar.pair import DifferentialCrossbar
 
@@ -32,6 +33,8 @@ __all__ = [
     "TrainingOutcome",
     "build_pair",
     "hardware_test_rate",
+    "batched_hardware_test_rates",
+    "ideal_read_path",
     "software_rates",
 ]
 
@@ -184,6 +187,104 @@ def hardware_test_rate(
         pair.calibrate_sense(x_phys[: min(len(x_phys), 256)])
     scores = pair.matvec(x_phys, ir_mode)
     return rate_from_scores(scores, labels)
+
+
+def ideal_read_path(spec: HardwareSpec) -> bool:
+    """Whether inference reads reduce to the plain einsum branch.
+
+    True exactly when :meth:`repro.xbar.crossbar.Crossbar.read` takes
+    its first (ideal) branch for this spec's ``ir_mode`` -- the regime
+    the batched Monte-Carlo evaluator replicates.
+    """
+    return spec.ir_mode == "ideal" or spec.crossbar.r_wire == 0
+
+
+def batched_hardware_test_rates(
+    g_pos: np.ndarray,
+    g_neg: np.ndarray,
+    x: np.ndarray,
+    labels: np.ndarray,
+    spec: HardwareSpec,
+    scaler: WeightScaler,
+    trial_block: int = 16,
+) -> np.ndarray:
+    """Test rates of a stack of programmed pairs, one hardware pass.
+
+    The Monte-Carlo ensemble counterpart of :func:`hardware_test_rate`
+    for the ideal read path (:func:`ideal_read_path` must hold):
+    ``g_pos``/``g_neg`` carry the snapshot conductances of ``T``
+    fabricated-and-programmed pairs, and the whole ensemble is pushed
+    through the read chain at once -- fixed-accumulation einsum matvec,
+    per-trial sense auto-ranging (the ``calibrate_sense`` quantile and
+    floor), per-trial bipolar ADC quantisation, weight-domain scaling,
+    argmax.  Every step is elementwise, a trailing-axes reduction, or a
+    per-slice einsum, so trial ``t`` of the result equals programming a
+    single pair with those conductances and calling
+    :func:`hardware_test_rate` -- bit-for-bit.
+
+    Digital gain calibration is not modelled here: callers must only
+    snapshot pairs whose ``digital_gains`` are unset (true for every
+    ideal-read experiment; the open-loop calibration is gated on
+    ``r_wire > 0``).
+
+    Args:
+        g_pos: Positive-array conductances, ``(T, rows, cols)``.
+        g_neg: Negative-array conductances, ``(T, rows, cols)``.
+        x: Physical inputs -- ``(s, rows)`` shared by every trial, or
+            ``(T, s, rows)`` when the (AMP) input routing differs per
+            trial.
+        labels: Integer test labels, ``(s,)``.
+        spec: Hardware platform (ADC sizing, v_read, device range).
+        scaler: Weight <-> conductance map of the pairs.
+        trial_block: Trials evaluated per einsum call; purely a memory
+            knob -- per-slice identity makes any value bit-identical.
+
+    Returns:
+        Per-trial test rates, shape ``(T,)``.
+    """
+    if not ideal_read_path(spec):
+        raise ValueError(
+            "batched_hardware_test_rates only replicates the ideal read "
+            f"path (ir_mode={spec.ir_mode!r}, r_wire={spec.crossbar.r_wire})"
+        )
+    g_pos = np.asarray(g_pos, dtype=float)
+    g_neg = np.asarray(g_neg, dtype=float)
+    x = np.asarray(x, dtype=float)
+    labels = np.asarray(labels)
+    n_trials = g_pos.shape[0]
+    v_read = spec.crossbar.v_read
+    adc = spec.diff_adc(spec.crossbar.rows)
+    scale = v_read * scaler.device.g_range / scaler.w_max
+    fs_floor = v_read * spec.device.g_off
+
+    rates = np.empty(n_trials)
+    for start in range(0, n_trials, max(1, trial_block)):
+        stop = min(start + max(1, trial_block), n_trials)
+        gp, gn = g_pos[start:stop], g_neg[start:stop]
+        xb = x if x.ndim == 2 else x[start:stop]
+        i_diff = (
+            v_read * trial_stacked_matmul(xb, gp)
+            - v_read * trial_stacked_matmul(xb, gn)
+        )
+        if adc is not None:
+            # Per-trial sense auto-ranging, then the mid-rise bipolar
+            # quantiser with each trial's full scale broadcast in.
+            x_cal = xb[:256] if xb.ndim == 2 else xb[:, :256]
+            i_cal = (
+                v_read * trial_stacked_matmul(x_cal, gp)
+                - v_read * trial_stacked_matmul(x_cal, gn)
+            )
+            peak = np.quantile(np.abs(i_cal), 0.999, axis=(1, 2))
+            fs = np.maximum(peak * 1.5, fs_floor)[:, None, None]
+            levels = 2 ** adc.bits
+            lo = -fs
+            lsb = (2 * fs) / levels
+            codes = np.round((np.clip(i_diff, lo, fs) - lo) / lsb)
+            i_diff = lo + np.clip(codes, 0, levels - 1) * lsb
+        scores = (i_diff - 0.0) / scale
+        preds = np.argmax(scores, axis=2)
+        rates[start:stop] = np.mean(preds == labels[None, :], axis=1)
+    return rates
 
 
 def software_rates(

@@ -27,7 +27,7 @@ from repro.runtime.executor import parallel_map
 from repro.seeding import ensure_rng
 
 __all__ = ["SelfTuningConfig", "GammaScanPoint", "TuneResult", "tune_gamma",
-           "injected_rate"]
+           "injected_rate", "injected_rate_looped"]
 
 DEFAULT_GAMMAS = (0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0)
 
@@ -114,6 +114,14 @@ def injected_rate(
     paper's validation step ("we first model the memristor variations
     and inject them into the weight matrix W").
 
+    All injections are evaluated in one batched forward pass: the
+    ``(n_injections, n, m)`` injected-weight stack goes through a
+    single fixed-accumulation einsum instead of a Python loop of full
+    matmuls.  The einsum reduces each injection slice in the same
+    order a per-injection einsum would, so the batched evaluation is
+    bit-identical to :func:`injected_rate_looped` (the loop-of-slices
+    reference retained for the property tests).
+
     Args:
         thetas: Optional pre-drawn injection angles of shape
             ``(n_injections,) + weights.shape`` (standard normal; they
@@ -122,26 +130,68 @@ def injected_rate(
             comparison, removing most of the Monte-Carlo noise from
             the selection.
     """
-    if n_injections < 1:
-        raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+    thetas = _validated_thetas(weights, n_injections, rng, thetas)
     x = np.asarray(x, dtype=float)
-    if thetas is None:
-        if rng is None:
-            raise ValueError("need an rng when thetas are not supplied")
-        thetas = rng.standard_normal((n_injections,) + weights.shape)
-    elif thetas.shape != (n_injections,) + weights.shape:
-        raise ValueError(
-            f"thetas shape {thetas.shape} != "
-            f"{(n_injections,) + weights.shape}"
+    if sigma > 0:
+        w_all = weights * np.exp(sigma * thetas)
+    else:
+        w_all = np.broadcast_to(
+            weights, (n_injections,) + weights.shape
         )
+    scores = np.einsum("sn,knm->ksm", x, w_all)
+    total = 0.0
+    for k in range(n_injections):
+        total += rate_from_scores(scores[k], labels)
+    return total / n_injections
+
+
+def injected_rate_looped(
+    weights: np.ndarray,
+    x: np.ndarray,
+    labels: np.ndarray,
+    sigma: float,
+    n_injections: int,
+    rng: np.random.Generator | None = None,
+    thetas: np.ndarray | None = None,
+) -> float:
+    """Reference per-injection loop for :func:`injected_rate`.
+
+    Evaluates one injection at a time with the same fixed-accumulation
+    einsum the batched path uses per slice.  Kept as the oracle for
+    the bit-identity property tests; production code should call
+    :func:`injected_rate`.
+    """
+    thetas = _validated_thetas(weights, n_injections, rng, thetas)
+    x = np.asarray(x, dtype=float)
     total = 0.0
     for k in range(n_injections):
         if sigma > 0:
             w_injected = weights * np.exp(sigma * thetas[k])
         else:
             w_injected = weights
-        total += rate_from_scores(x @ w_injected, labels)
+        scores = np.einsum("sn,nm->sm", x, w_injected)
+        total += rate_from_scores(scores, labels)
     return total / n_injections
+
+
+def _validated_thetas(
+    weights: np.ndarray,
+    n_injections: int,
+    rng: np.random.Generator | None,
+    thetas: np.ndarray | None,
+) -> np.ndarray:
+    if n_injections < 1:
+        raise ValueError(f"n_injections must be >= 1, got {n_injections}")
+    if thetas is None:
+        if rng is None:
+            raise ValueError("need an rng when thetas are not supplied")
+        return rng.standard_normal((n_injections,) + weights.shape)
+    if thetas.shape != (n_injections,) + weights.shape:
+        raise ValueError(
+            f"thetas shape {thetas.shape} != "
+            f"{(n_injections,) + weights.shape}"
+        )
+    return thetas
 
 
 def _scan_candidate(

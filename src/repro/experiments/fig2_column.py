@@ -12,13 +12,19 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+from typing import Sequence
 
 import numpy as np
 
+from repro.analysis.lognormal import (
+    stacked_cycle_multipliers,
+    stacked_parametric_thetas,
+)
 from repro.analysis.montecarlo import run_monte_carlo
 from repro.circuits.adc import ADC
 from repro.config import DeviceConfig, VariationConfig
 from repro.devices.memristor import MemristorArray
+from repro.devices.variation import lognormal_multipliers
 from repro.experiments.common import ExperimentScale
 
 __all__ = ["ColumnStudyResult", "ColumnTrialConfig", "run_fig2",
@@ -117,6 +123,83 @@ def _column_trial(
     )
 
 
+def _column_trial_batch(
+    rngs: Sequence[np.random.Generator], cfg: ColumnTrialConfig
+) -> np.ndarray:
+    """Trial-batched kernel for :func:`_column_trial`.
+
+    Replays the scalar trial's draws per trial -- fabrication thetas,
+    one programming cycle draw, then one cycle draw per *active* CLD
+    iteration, each from that trial's own generator -- and performs all
+    device math on ``(T, n, 1)`` stacks.  Every array operation here is
+    elementwise or a trailing-axes reduction, both of which NumPy
+    evaluates identically per trial slice, so the output is
+    bit-identical to looping :func:`_column_trial` over the same
+    generators.
+    """
+    n_trials = len(rngs)
+    device = DeviceConfig()
+    variation = VariationConfig(sigma=cfg.sigma)
+    g_off, g_range = device.g_off, device.g_range
+    v_read = cfg.v_read
+    target_current = cfg.target_current
+    shape = (cfg.n_devices, 1)
+    g_target = target_current / (cfg.n_devices * v_read)
+    targets = np.full(shape, g_target)
+
+    # Fabrication: each trial's persistent thetas from its own stream.
+    thetas = stacked_parametric_thetas(
+        rngs, cfg.sigma, variation.distribution, shape
+    )
+    exp_thetas = np.exp(thetas)
+
+    # --- OLD: one open-loop programming event per trial. ---
+    achieved = targets * exp_thetas
+    if variation.sigma_cycle > 0:
+        achieved = achieved * stacked_cycle_multipliers(
+            rngs, variation.sigma_cycle, shape
+        )
+    achieved = np.clip(achieved, g_off, device.g_on)
+    state = np.clip((achieved - g_off) / g_range, 0.0, 1.0)
+    g_old = g_off + state * g_range
+    i_old = v_read * g_old.sum(axis=(1, 2))
+
+    # --- CLD: program-and-sense feedback on the same fabric. ---
+    state = np.zeros((n_trials,) + shape)
+    adc = ADC(cfg.adc_bits, 2.0 * target_current)
+    # Trials leave the feedback loop independently: a converged trial
+    # stops updating *and stops drawing cycle noise*, exactly like the
+    # scalar trial's early break.
+    active = np.ones(n_trials, dtype=bool)
+    for _ in range(cfg.cld_iterations):
+        g = g_off + state * g_range
+        i_sensed = adc.quantize(v_read * g.sum(axis=(1, 2)))
+        error = target_current - i_sensed
+        active &= ~(np.abs(error) < adc.lsb)
+        if not active.any():
+            break
+        delta = error / (cfg.n_devices * v_read) * 0.5
+        step = delta[:, None, None] * exp_thetas
+        if variation.sigma_cycle > 0:
+            for t in np.nonzero(active)[0]:
+                step[t] = step[t] * lognormal_multipliers(
+                    rngs[t], variation.sigma_cycle, shape
+                )
+        g_new = np.clip(g + step, g_off, device.g_on)
+        state_new = np.clip((g_new - g_off) / g_range, 0.0, 1.0)
+        state[active] = state_new[active]
+    g_cld = g_off + state * g_range
+    i_cld = v_read * g_cld.sum(axis=(1, 2))
+
+    return np.stack(
+        [
+            np.abs(i_old - target_current) / target_current,
+            np.abs(i_cld - target_current) / target_current,
+        ],
+        axis=1,
+    )
+
+
 def run_fig2(
     scale: ExperimentScale | None = None,
     sigmas: tuple[float, ...] = DEFAULT_SIGMAS,
@@ -157,6 +240,7 @@ def run_fig2(
             seed=scale.seed + idx,
             cache_config=trial_cfg,
             label=f"fig2[sigma={sigma:g}]",
+            batch_trial=functools.partial(_column_trial_batch, cfg=trial_cfg),
         )
         old_mean.append(summary.mean[0])
         cld_mean.append(summary.mean[1])

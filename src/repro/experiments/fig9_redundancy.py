@@ -16,13 +16,20 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.montecarlo import run_monte_carlo
 from repro.analysis.overhead import CostModel
 from repro.core.amp import RowMapping
-from repro.core.base import HardwareSpec, build_pair, hardware_test_rate
+from repro.core.base import (
+    HardwareSpec,
+    batched_hardware_test_rates,
+    build_pair,
+    hardware_test_rate,
+    ideal_read_path,
+)
 from repro.core.cld import CLDConfig, train_cld
 from repro.core.greedy import greedy_mapping
 from repro.core.old import OLDConfig, program_pair_open_loop, train_old
@@ -128,6 +135,107 @@ def _fig9_trial(
     return rates
 
 
+def _fig9_trial_batch(
+    rngs: Sequence[np.random.Generator],
+    spec: HardwareSpec,
+    scaler: WeightScaler,
+    old_weights: np.ndarray,
+    vortex_weights: np.ndarray,
+    order: np.ndarray,
+    paper_programming: OLDConfig,
+    redundancy: tuple[int, ...],
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    x_mean: np.ndarray,
+) -> np.ndarray:
+    """Trial-batched kernel for :func:`_fig9_trial`.
+
+    Fabrication, open-loop programming, CLD training and AMP
+    pre-testing stay per trial (they consume each trial's generator in
+    the scalar order), while the forward evaluations -- which draw
+    nothing -- are deferred and executed as one stacked hardware pass
+    per scheme/redundancy slot.
+    """
+    if not ideal_read_path(spec):
+        return np.stack([
+            _fig9_trial(
+                rng, spec, scaler, old_weights, vortex_weights, order,
+                paper_programming, redundancy, x_train, y_train, x_test,
+                y_test, x_mean,
+            )
+            for rng in rngs
+        ])
+    n = spec.crossbar.rows
+    n_trials = len(rngs)
+    cols = old_weights.shape[1]
+    old_gp = np.empty((n_trials, n, cols))
+    old_gn = np.empty_like(old_gp)
+    cld_gp = np.empty_like(old_gp)
+    cld_gn = np.empty_like(old_gp)
+    vortex_gp = [
+        np.empty((n_trials, n + extra, cols)) for extra in redundancy
+    ]
+    vortex_gn = [np.empty_like(g) for g in vortex_gp]
+    vortex_assign = [
+        np.empty((n_trials, n), dtype=int) for _ in redundancy
+    ]
+    for t, rng in enumerate(rngs):
+        # --- OLD baseline (p = 0). ---
+        pair = build_pair(spec, scaler, rng)
+        program_pair_open_loop(
+            pair, old_weights, paper_programming, x_reference=x_mean
+        )
+        old_gp[t] = pair.positive.conductance
+        old_gn[t] = pair.negative.conductance
+        # --- CLD baseline (p = 0). ---
+        pair = build_pair(spec, scaler, rng)
+        train_cld(
+            pair, x_train, y_train, N_CLASSES,
+            CLDConfig(ir_mode_read="ideal"), rng,
+        )
+        cld_gp[t] = pair.positive.conductance
+        cld_gn[t] = pair.negative.conductance
+        # --- Vortex at each redundancy level. ---
+        for pi, extra in enumerate(redundancy):
+            pair = build_pair(spec, scaler, rng, rows=n + extra)
+            pretest = pretest_pair(pair, spec.sensing, rng=rng)
+            swv = swv_pair(
+                vortex_weights, pretest.theta_pos, pretest.theta_neg,
+                scaler,
+            )
+            mapping = RowMapping(
+                assignment=greedy_mapping(swv, order),
+                n_physical=n + extra,
+            )
+            program_pair_open_loop(
+                pair, mapping.weights_to_physical(vortex_weights),
+                paper_programming,
+                x_reference=mapping.inputs_to_physical(x_mean),
+            )
+            vortex_gp[pi][t] = pair.positive.conductance
+            vortex_gn[pi][t] = pair.negative.conductance
+            vortex_assign[pi][t] = mapping.assignment
+
+    rates = np.zeros((n_trials, 2 + len(redundancy)))
+    x = np.asarray(x_test, dtype=float)
+    rates[:, 0] = batched_hardware_test_rates(
+        old_gp, old_gn, x, y_test, spec, scaler
+    )
+    rates[:, 1] = batched_hardware_test_rates(
+        cld_gp, cld_gn, x, y_test, spec, scaler
+    )
+    for pi, extra in enumerate(redundancy):
+        x_stack = np.zeros((n_trials, x.shape[0], n + extra))
+        for t in range(n_trials):
+            x_stack[t][:, vortex_assign[pi][t]] = x
+        rates[:, 2 + pi] = batched_hardware_test_rates(
+            vortex_gp[pi], vortex_gn[pi], x_stack, y_test, spec, scaler
+        )
+    return rates
+
+
 def run_fig9(
     scale: ExperimentScale | None = None,
     redundancy: tuple[int, ...] = DEFAULT_REDUNDANCY,
@@ -201,6 +309,15 @@ def run_fig9(
             trials=scale.mc_trials,
             seed=scale.seed + 900 + si,
             label=f"fig9[sigma={sigma:g}]",
+            batch_trial=functools.partial(
+                _fig9_trial_batch,
+                spec=spec, scaler=scaler, old_weights=old_weights,
+                vortex_weights=weights, order=order,
+                paper_programming=paper_programming,
+                redundancy=tuple(int(p) for p in redundancy),
+                x_train=ds.x_train, y_train=ds.y_train,
+                x_test=ds.x_test, y_test=ds.y_test, x_mean=x_mean,
+            ),
         )
         old_rates[si] = summary.mean[0]
         cld_rates[si] = summary.mean[1]

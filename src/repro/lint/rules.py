@@ -57,8 +57,9 @@ _GLOBAL_STATE_FNS = frozenset(
 # Executor entry points whose first callable argument must survive
 # pickling into a worker process.
 _EXECUTOR_APIS = {
-    "run_monte_carlo": ("trial",),
+    "run_monte_carlo": ("trial", "batch_trial"),
     "map_trials": ("trial",),
+    "map_trials_batched": ("batch_trial",),
     "parallel_map": ("fn",),
 }
 

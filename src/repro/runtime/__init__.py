@@ -28,6 +28,7 @@ from repro.runtime.config import (
 from repro.runtime.executor import (
     chunk_bounds,
     map_trials,
+    map_trials_batched,
     parallel_map,
     trial_seed_sequence,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "current_runtime",
     "get_cache",
     "map_trials",
+    "map_trials_batched",
     "parallel_map",
     "resolve_jobs",
     "stable_key",

@@ -12,19 +12,32 @@ produce bit-identical value arrays, and the serial path spawns
 generators lazily chunk by chunk, so memory stays flat at large trial
 counts.
 
-Two entry points:
+Three entry points:
 
 * :func:`map_trials` -- the Monte-Carlo primitive: run
   ``trial(rng)`` for ``trials`` independent draws, return the stacked
   value array.
+* :func:`map_trials_batched` -- the trial-batched kernel primitive:
+  hand a whole chunk's per-trial generators to one vectorised kernel,
+  which draws every trial's variations into stacked tensors and
+  evaluates the chunk with fixed-accumulation array math.  Because the
+  kernel consumes *exactly* the per-trial generator streams of the
+  looped path, its values are bit-identical to :func:`map_trials` of
+  the equivalent scalar trial at any jobs/chunk-size combination.
 * :func:`parallel_map` -- order-preserving map over independent
   *deterministic* tasks (the gamma grid of the self-tuning loop, the
   per-gamma training of the Fig. 4 sweep).
 
-Both fall back to in-process execution when the callable cannot be
+All fall back to in-process execution when the callable cannot be
 pickled (e.g. a closure), when only one worker is requested, or when
 the platform cannot start worker processes -- parallelism is an
 optimisation here, never a requirement.
+
+Chunk results cross process boundaries as whole ``ndarray`` blocks
+(one binary pickle per chunk) and are assembled into a preallocated
+output array; large blocks ride through POSIX shared memory when the
+platform provides it, so the parent never re-serialises bulk trial
+values through per-trial Python lists.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ __all__ = [
     "trial_seed_sequence",
     "chunk_bounds",
     "map_trials",
+    "map_trials_batched",
     "parallel_map",
 ]
 
@@ -50,6 +64,7 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 TrialFn = Callable[[np.random.Generator], Any]
+BatchTrialFn = Callable[[Sequence[np.random.Generator]], np.ndarray]
 
 # Upper bound on trials per worker task: small enough for progress
 # reporting and load balancing, large enough to amortise dispatch.
@@ -94,14 +109,92 @@ def chunk_bounds(
     ]
 
 
-def _run_chunk(
-    trial: TrialFn, seed: int, start: int, stop: int
-) -> list[np.ndarray]:
-    """Run trials ``start..stop`` with their dedicated generators."""
-    return [
+def _run_chunk(trial: TrialFn, seed: int, start: int, stop: int) -> np.ndarray:
+    """Run trials ``start..stop`` with their dedicated generators.
+
+    Returns one stacked block of shape ``(stop - start,) + value_shape``
+    so a chunk crosses the process boundary as a single binary array
+    payload instead of a pickled list of per-trial arrays.
+    """
+    return np.stack([
         np.asarray(trial(trial_rng(seed, i)), dtype=float)
         for i in range(start, stop)
-    ]
+    ])
+
+
+def _run_batch_chunk(
+    batch_trial: BatchTrialFn, seed: int, start: int, stop: int
+) -> np.ndarray:
+    """Run one chunk through a vectorised kernel.
+
+    The kernel receives the *same* per-trial child generators, in the
+    same order, that :func:`_run_chunk` would hand to the scalar trial
+    one by one -- the stream identity that makes batched results
+    bit-identical to looped ones.
+    """
+    rngs = [trial_rng(seed, i) for i in range(start, stop)]
+    block = np.asarray(batch_trial(rngs), dtype=float)
+    if block.ndim < 1 or block.shape[0] != stop - start:
+        raise ValueError(
+            f"batch kernel returned shape {block.shape} for a chunk of "
+            f"{stop - start} trials; expected a leading trial axis"
+        )
+    return block
+
+
+# Chunk blocks above this size cross the process boundary through
+# POSIX shared memory instead of a pickle copy.
+_SHM_THRESHOLD_BYTES = 1 << 20
+
+
+def _export_block(block: np.ndarray) -> tuple:
+    """Package a worker's chunk block for the cheapest transfer home."""
+    if block.nbytes >= _SHM_THRESHOLD_BYTES:
+        try:
+            from multiprocessing import shared_memory
+
+            segment = shared_memory.SharedMemory(
+                create=True, size=block.nbytes
+            )
+            view = np.ndarray(
+                block.shape, dtype=block.dtype, buffer=segment.buf
+            )
+            view[...] = block
+            name = segment.name
+            segment.close()
+            return ("shm", name, block.shape, str(block.dtype))
+        except (ImportError, OSError):
+            pass  # No /dev/shm (or too small): pickle the array.
+    return ("array", block)
+
+
+def _import_block(payload: tuple) -> np.ndarray:
+    """Materialise a worker's chunk block in the parent process."""
+    if payload[0] == "array":
+        return payload[1]
+    from multiprocessing import shared_memory
+
+    _, name, shape, dtype = payload
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return np.array(
+            np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        )
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def _run_chunk_remote(
+    trial: TrialFn, seed: int, start: int, stop: int
+) -> tuple:
+    return _export_block(_run_chunk(trial, seed, start, stop))
+
+
+def _run_batch_chunk_remote(
+    batch_trial: BatchTrialFn, seed: int, start: int, stop: int
+) -> tuple:
+    return _export_block(_run_batch_chunk(batch_trial, seed, start, stop))
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -110,6 +203,33 @@ def _is_picklable(obj: Any) -> bool:
     except Exception:
         return False
     return True
+
+
+# Item types that are trivially picklable, so :func:`parallel_map` can
+# route them to workers without serialising each payload up front (a
+# full ``pickle.dumps`` probe of every item copies entire arrays just
+# to decide the execution path).
+_CHEAP_PICKLABLE_TYPES = (
+    type(None), bool, int, float, complex, str, bytes,
+    np.integer, np.floating, np.bool_,
+)
+
+
+def _item_is_picklable(item: Any, _depth: int = 0) -> bool:
+    """Cheap, conservative picklability check for task items.
+
+    Scalars, strings and numeric arrays are accepted by type alone;
+    shallow containers are checked element-wise.  Anything else falls
+    back to a real pickle probe -- typically a small config object,
+    never a bulk payload.
+    """
+    if isinstance(item, _CHEAP_PICKLABLE_TYPES):
+        return True
+    if isinstance(item, np.ndarray):
+        return item.dtype != object
+    if isinstance(item, (tuple, list, frozenset, set)) and _depth < 2:
+        return all(_item_is_picklable(v, _depth + 1) for v in item)
+    return _is_picklable(item)
 
 
 def map_trials(
@@ -138,6 +258,69 @@ def map_trials(
     Returns:
         Array of shape ``(trials,) + value_shape``.
     """
+    return _map_chunked(
+        _run_chunk, _run_chunk_remote, trial, trials,
+        seed=seed, jobs=jobs, chunk_size=chunk_size, label=label,
+        kernel="loop",
+    )
+
+
+def map_trials_batched(
+    batch_trial: BatchTrialFn,
+    trials: int,
+    seed: int = 0,
+    jobs: int | None = None,
+    chunk_size: int | None = None,
+    label: str = "montecarlo",
+) -> np.ndarray:
+    """Run a vectorised kernel over deterministic chunks of trials.
+
+    The batched counterpart of :func:`map_trials`: instead of one
+    callable per draw, ``batch_trial`` receives the *list* of per-trial
+    child generators of a whole chunk and returns the stacked block of
+    that chunk's values, shape ``(len(rngs),) + value_shape``.  A
+    conforming kernel draws each trial's variations from its own
+    generator (in the same order the scalar trial would -- e.g. via
+    :func:`repro.analysis.lognormal.stacked_standard_thetas`) and then
+    evaluates the whole stack with fixed-accumulation array math, so
+    its output is bit-identical to looping the scalar trial while the
+    per-trial Python overhead is paid once per chunk.
+
+    Args:
+        batch_trial: Vectorised kernel ``rngs -> (T, ...)`` block.
+            Must be picklable (module-level function or a
+            ``functools.partial`` of one) to unlock process fan-out.
+        trials: Number of independent repetitions (>= 1).
+        seed: Master seed of the spawn tree (same tree as
+            :func:`map_trials`).
+        jobs: Worker processes; ``None`` reads the ambient config.
+        chunk_size: Trials per kernel invocation; ``None`` auto-sizes.
+            Any value yields bit-identical results; larger chunks
+            amortise more Python overhead at more memory per call.
+        label: Telemetry label for the run log.
+
+    Returns:
+        Array of shape ``(trials,) + value_shape``.
+    """
+    return _map_chunked(
+        _run_batch_chunk, _run_batch_chunk_remote, batch_trial, trials,
+        seed=seed, jobs=jobs, chunk_size=chunk_size, label=label,
+        kernel="batched",
+    )
+
+
+def _map_chunked(
+    run_chunk: Callable[..., np.ndarray],
+    run_chunk_remote: Callable[..., tuple],
+    fn: Callable,
+    trials: int,
+    seed: int,
+    jobs: int | None,
+    chunk_size: int | None,
+    label: str,
+    kernel: str,
+) -> np.ndarray:
+    """Shared chunked dispatch of the looped and batched trial paths."""
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     jobs = resolve_jobs(jobs)
@@ -147,56 +330,94 @@ def map_trials(
     bounds = chunk_bounds(trials, jobs, chunk_size)
 
     t0 = time.perf_counter()
-    chunks: list[list[np.ndarray]]
-    if jobs > 1 and trials > 1 and _is_picklable(trial):
-        chunks = _map_chunks_parallel(trial, seed, bounds, jobs, label)
-    else:
-        chunks = []
+    values: np.ndarray | None = None
+    if jobs > 1 and trials > 1 and _is_picklable(fn):
+        values = _map_chunks_parallel(
+            run_chunk, run_chunk_remote, fn, seed, bounds, jobs, label,
+            trials,
+        )
+    if values is None:
         done = 0
         for start, stop in bounds:
-            chunks.append(_run_chunk(trial, seed, start, stop))
+            block = run_chunk(fn, seed, start, stop)
+            values = _store_block(values, block, trials, start, stop)
             done += stop - start
             if log is not None:
                 log.report_progress(label, done, trials)
-    values = np.asarray([v for chunk in chunks for v in chunk])
     if log is not None:
         log.record_batch(
-            label, trials, time.perf_counter() - t0, jobs
+            label, trials, time.perf_counter() - t0, jobs,
+            kernel=kernel,
+            chunk_size=bounds[0][1] - bounds[0][0] if bounds else 0,
         )
     return values
 
 
+def _store_block(
+    values: np.ndarray | None,
+    block: np.ndarray,
+    trials: int,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Copy one chunk block into the preallocated result array.
+
+    The output is allocated once, from the first block's value shape,
+    and every chunk lands at its trial offset -- no per-trial Python
+    list is ever materialised in the parent.
+    """
+    if values is None:
+        values = np.empty((trials,) + block.shape[1:], dtype=block.dtype)
+    if block.shape[1:] != values.shape[1:]:
+        raise ValueError(
+            f"chunk value shape {block.shape[1:]} differs from earlier "
+            f"chunks {values.shape[1:]}; trials must return a "
+            "consistent shape"
+        )
+    values[start:stop] = block
+    return values
+
+
 def _map_chunks_parallel(
-    trial: TrialFn,
+    run_chunk: Callable[..., np.ndarray],
+    run_chunk_remote: Callable[..., tuple],
+    fn: Callable,
     seed: int,
     bounds: Sequence[tuple[int, int]],
     jobs: int,
     label: str,
-) -> list[list[np.ndarray]]:
-    """Fan chunks out over worker processes, reassemble in order."""
+    trials: int,
+) -> np.ndarray | None:
+    """Fan chunks out over worker processes, reassemble in order.
+
+    Returns ``None`` when worker processes cannot start, signalling the
+    caller to run the serial path instead.
+    """
     log = current_run_log()
     total = bounds[-1][1] if bounds else 0
+    values: np.ndarray | None = None
     try:
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(jobs, len(bounds))
         ) as pool:
             futures = [
-                pool.submit(_run_chunk, trial, seed, start, stop)
+                pool.submit(run_chunk_remote, fn, seed, start, stop)
                 for start, stop in bounds
             ]
             done = 0
             for future, (start, stop) in zip(futures, bounds):
                 # Await in submission order: completion order varies
                 # run to run, assembly order must not.
-                future.result()
+                block = _import_block(future.result())
+                values = _store_block(values, block, total, start, stop)
                 done += stop - start
                 if log is not None:
                     log.report_progress(label, done, total)
-            return [f.result() for f in futures]
+            return values
     except (OSError, PermissionError):
         # Platforms without working process pools (e.g. missing
         # /dev/shm semaphores) degrade to the serial path.
-        return [_run_chunk(trial, seed, start, stop) for start, stop in bounds]
+        return None
 
 
 def parallel_map(
@@ -211,7 +432,9 @@ def parallel_map(
     order or shared mutable state, which is exactly what makes the
     output independent of ``jobs``.  Falls back to a plain in-process
     map when ``jobs == 1``, when ``fn`` (or an item) is unpicklable, or
-    when worker processes cannot start.
+    when worker processes cannot start.  The callable is pickle-probed
+    once; items only get a cheap type check, never a full serialisation
+    of bulk array payloads.
 
     Args:
         fn: Pure function applied to every item.
@@ -231,7 +454,7 @@ def parallel_map(
         jobs > 1
         and len(seq) > 1
         and _is_picklable(fn)
-        and all(_is_picklable(item) for item in seq)
+        and all(_item_is_picklable(item) for item in seq)
     ):
         try:
             with concurrent.futures.ProcessPoolExecutor(

@@ -53,6 +53,10 @@ class TrialBatch:
         seconds: Wall time of the dispatch.
         jobs: Worker processes used (1 = serial in-process).
         cache_hit: Whether the artifact cache supplied the result.
+        kernel: Execution path: ``'loop'`` (one Python callable per
+            trial) or ``'batched'`` (vectorised chunk kernel).
+        chunk_size: Trials per chunk dispatch (0 when unknown, e.g.
+            cache hits and ``parallel_map`` batches).
     """
 
     label: str
@@ -60,6 +64,8 @@ class TrialBatch:
     seconds: float
     jobs: int
     cache_hit: bool = False
+    kernel: str = "loop"
+    chunk_size: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -167,10 +173,12 @@ class RunLog:
         seconds: float,
         jobs: int,
         cache_hit: bool = False,
+        kernel: str = "loop",
+        chunk_size: int = 0,
     ) -> TrialBatch:
         batch = TrialBatch(
             label=label, trials=trials, seconds=seconds, jobs=jobs,
-            cache_hit=cache_hit,
+            cache_hit=cache_hit, kernel=kernel, chunk_size=chunk_size,
         )
         self.batches.append(batch)
         return batch
@@ -311,7 +319,8 @@ class RunLog:
             )
             lines.append(
                 f"  mc {b.label:<24s} {b.trials:6d} trials "
-                f"{b.seconds:8.2f}s  jobs={b.jobs} {rate}"
+                f"{b.seconds:8.2f}s  jobs={b.jobs} "
+                f"kernel={b.kernel} {rate}"
             )
         total = sum(r.seconds for r in self.experiments)
         lines.append(

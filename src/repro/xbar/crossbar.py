@@ -20,12 +20,17 @@ from repro.xbar.ir_drop import (
 )
 from repro.xbar.nodal import CrossbarNetwork
 
-__all__ = ["Crossbar", "IR_MODES"]
+__all__ = [
+    "Crossbar",
+    "IR_MODES",
+    "batch_invariant_matmul",
+    "trial_stacked_matmul",
+]
 
 IR_MODES = ("ideal", "reference", "fixed_point", "nodal")
 
 
-def _batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+def batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
     """``x @ g`` with per-row results independent of the batch size.
 
     BLAS picks different kernels and blocking for different operand
@@ -39,6 +44,36 @@ def _batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
     if x.ndim == 1:
         return np.einsum("n,nm->m", x, g)
     return np.einsum("sn,nm->sm", x, g)
+
+
+# Retained private alias for pre-existing in-module call sites.
+_batch_invariant_matmul = batch_invariant_matmul
+
+
+def trial_stacked_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """Fixed-accumulation matmul over a stack of trial conductances.
+
+    The Monte-Carlo counterpart of :func:`batch_invariant_matmul`:
+    ``g`` carries a leading trial axis ``(T, n, m)`` and ``x`` is
+    either one input batch ``(s, n)`` shared by every trial or a
+    per-trial stack ``(T, s, n)`` (e.g. AMP row permutations that
+    differ per draw).  The returned ``(T, s, m)`` tensor satisfies
+    ``out[t] == batch_invariant_matmul(x[t] if per-trial else x, g[t])``
+    *bit-for-bit*: einsum reduces over ``n`` in the same fixed order
+    for every trial slice, so batching draws cannot perturb a single
+    draw's result.
+    """
+    if g.ndim != 3:
+        raise ValueError(
+            f"g must be a (T, n, m) trial stack, got shape {g.shape}"
+        )
+    if x.ndim == 2:
+        return np.einsum("sn,tnm->tsm", x, g)
+    if x.ndim == 3:
+        return np.einsum("tsn,tnm->tsm", x, g)
+    raise ValueError(
+        f"x must be (s, n) or a (T, s, n) trial stack, got shape {x.shape}"
+    )
 
 
 class Crossbar:

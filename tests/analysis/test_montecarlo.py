@@ -75,6 +75,10 @@ def _mc_trial(rng: np.random.Generator, scale: float = 1.0):
     return rng.normal(size=2) * scale
 
 
+def _mc_batch(rngs, scale: float = 1.0):
+    return np.stack([rng.normal(size=2) * scale for rng in rngs])
+
+
 @dataclasses.dataclass(frozen=True)
 class _TrialConfig:
     scale: float = 1.0
@@ -156,3 +160,64 @@ class TestArtifactCaching:
             run_monte_carlo(functools.partial(_mc_trial), trials=4,
                             seed=0)
         assert [b.cache_hit for b in log.batches] == [False, False]
+
+
+class TestBatchedKernel:
+    def test_bit_identical_to_looped(self):
+        looped = run_monte_carlo(
+            functools.partial(_mc_trial, scale=2.0), trials=21, seed=13,
+            jobs=1,
+        )
+        batched = run_monte_carlo(
+            functools.partial(_mc_trial, scale=2.0), trials=21, seed=13,
+            jobs=1, batch_trial=functools.partial(_mc_batch, scale=2.0),
+        )
+        assert np.array_equal(looped.values, batched.values)
+
+    def test_identical_across_jobs(self):
+        baseline = run_monte_carlo(
+            functools.partial(_mc_trial), trials=17, seed=6, jobs=1,
+            batch_trial=functools.partial(_mc_batch),
+        )
+        for jobs in (2, 4):
+            summary = run_monte_carlo(
+                functools.partial(_mc_trial), trials=17, seed=6, jobs=jobs,
+                batch_trial=functools.partial(_mc_batch),
+            )
+            assert np.array_equal(baseline.values, summary.values)
+
+    def test_shares_cache_key_with_looped(self, tmp_path):
+        # A batched run must hit artifacts a looped run populated and
+        # vice versa: the kernel is an execution detail, not an input.
+        cfg = _TrialConfig(scale=2.0)
+        log = RunLog()
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)), \
+                use_run_log(log):
+            looped = run_monte_carlo(
+                functools.partial(_mc_trial, scale=2.0), trials=8,
+                seed=3, cache_config=cfg,
+            )
+            batched = run_monte_carlo(
+                functools.partial(_mc_trial, scale=2.0), trials=8,
+                seed=3, cache_config=cfg,
+                batch_trial=functools.partial(_mc_batch, scale=2.0),
+            )
+        assert [b.cache_hit for b in log.batches] == [False, True]
+        assert np.array_equal(looped.values, batched.values)
+
+    def test_batched_populates_cache_for_looped(self, tmp_path):
+        cfg = _TrialConfig(scale=1.5)
+        log = RunLog()
+        with use_runtime(RuntimeConfig(cache_dir=tmp_path)), \
+                use_run_log(log):
+            batched = run_monte_carlo(
+                functools.partial(_mc_trial, scale=1.5), trials=8,
+                seed=3, cache_config=cfg,
+                batch_trial=functools.partial(_mc_batch, scale=1.5),
+            )
+            looped = run_monte_carlo(
+                functools.partial(_mc_trial, scale=1.5), trials=8,
+                seed=3, cache_config=cfg,
+            )
+        assert [b.cache_hit for b in log.batches] == [False, True]
+        assert np.array_equal(batched.values, looped.values)

@@ -12,15 +12,26 @@ from repro.runtime import (
     RuntimeConfig,
     chunk_bounds,
     map_trials,
+    map_trials_batched,
     parallel_map,
     trial_seed_sequence,
     use_run_log,
     use_runtime,
 )
+from repro.runtime.executor import _item_is_picklable
 
 
 def _noise_trial(rng: np.random.Generator, scale: float = 1.0):
     return rng.normal(size=3) * scale
+
+
+def _noise_batch(rngs, scale: float = 1.0):
+    # Same per-trial draws as _noise_trial, stacked.
+    return np.stack([rng.normal(size=3) * scale for rng in rngs])
+
+
+def _bad_shape_batch(rngs):
+    return np.zeros(len(rngs) + 1)
 
 
 def _square(x: float) -> float:
@@ -124,6 +135,60 @@ class TestMapTrials:
         assert log.batches[0].trials == 5
 
 
+class TestMapTrialsBatched:
+    def test_bit_identical_to_looped(self):
+        looped = map_trials(
+            functools.partial(_noise_trial, scale=2.0), 23, seed=7, jobs=1
+        )
+        batched = map_trials_batched(
+            functools.partial(_noise_batch, scale=2.0), 23, seed=7, jobs=1
+        )
+        assert np.array_equal(looped, batched)
+
+    def test_identical_across_jobs_and_chunk_sizes(self):
+        batch = functools.partial(_noise_batch, scale=0.5)
+        baseline = map_trials_batched(batch, 19, seed=5, jobs=1, chunk_size=1)
+        for jobs in (1, 2, 4):
+            for chunk_size in (1, 5, None):
+                assert np.array_equal(
+                    baseline,
+                    map_trials_batched(
+                        batch, 19, seed=5, jobs=jobs, chunk_size=chunk_size
+                    ),
+                )
+
+    def test_bad_leading_axis_rejected(self):
+        with pytest.raises(ValueError, match="leading trial axis"):
+            map_trials_batched(_bad_shape_batch, 6, seed=0, jobs=1)
+
+    def test_closure_falls_back_to_serial(self):
+        values = map_trials_batched(
+            lambda rngs: np.stack([rng.random(2) for rng in rngs]),
+            6, seed=1, jobs=4,
+        )
+        assert values.shape == (6, 2)
+
+    def test_records_batched_kernel_telemetry(self):
+        log = RunLog()
+        with use_run_log(log):
+            map_trials_batched(
+                functools.partial(_noise_batch), 9, seed=0, jobs=1,
+                chunk_size=4, label="unit-batched",
+            )
+        assert len(log.batches) == 1
+        batch = log.batches[0]
+        assert batch.label == "unit-batched"
+        assert batch.kernel == "batched"
+        assert batch.chunk_size == 4
+
+    def test_looped_kernel_telemetry(self):
+        log = RunLog()
+        with use_run_log(log):
+            map_trials(functools.partial(_noise_trial), 5, seed=0, jobs=1)
+        assert log.batches[0].kernel == "loop"
+        assert log.batches[0].chunk_size > 0
+
+
 class TestParallelMap:
     def test_preserves_order(self):
         items = [3.0, 1.0, 2.0, 5.0]
@@ -138,3 +203,26 @@ class TestParallelMap:
     def test_closure_falls_back_to_serial(self):
         offset = 10
         assert parallel_map(lambda v: v + offset, [1, 2], jobs=4) == [11, 12]
+
+    def test_unpicklable_item_falls_back_to_serial(self):
+        items = [{"fn": lambda v: v}, {"fn": None}]
+        out = parallel_map(lambda d: d["fn"] is None, items, jobs=4)
+        assert out == [False, True]
+
+
+class TestItemPicklability:
+    def test_cheap_scalars_accepted_without_pickling(self):
+        for item in (None, True, 3, 2.5, "s", b"b", np.float64(1.0)):
+            assert _item_is_picklable(item)
+
+    def test_numeric_arrays_accepted(self):
+        assert _item_is_picklable(np.zeros(4))
+
+    def test_object_arrays_probed(self):
+        arr = np.empty(1, dtype=object)
+        arr[0] = lambda: None
+        assert not _item_is_picklable(arr)
+
+    def test_shallow_containers_recurse(self):
+        assert _item_is_picklable((1, [2.0, "x"], {"k": 3}))
+        assert not _item_is_picklable((1, lambda: None))
