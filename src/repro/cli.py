@@ -10,6 +10,9 @@ Usage::
     python -m repro lint src               # determinism contract check
     python -m repro program --cache-dir C  # program + snapshot an array
     python -m repro serve --cache-dir C --artifact KEY --stdin
+    python -m repro fleet program --cache-dir C --image-size 14
+    python -m repro fleet serve --cache-dir C --fleet KEY --stdin
+    python -m repro fleet status --cache-dir C --fleet KEY
     python -m repro cache stats --cache-dir C
     python -m repro cache prune --cache-dir C --max-size-mb 100
 
@@ -202,6 +205,91 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--drift-threshold", type=float, default=0.1)
     serve.add_argument("--check-every", type=int, default=5)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help=(
+            "shard a large layer across tiles and serve it with "
+            "replicated, drift-managed scatter-gather routing"
+        ),
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fprogram = fleet_sub.add_parser(
+        "program",
+        help=(
+            "train, shard-program and snapshot a fleet into the "
+            "artifact cache (prints the fleet key)"
+        ),
+    )
+    fprogram.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory the fleet is stored in",
+    )
+    fprogram.add_argument(
+        "--image-size", type=int, choices=(7, 14, 28), default=14
+    )
+    fprogram.add_argument("--n-train", type=int, default=300)
+    fprogram.add_argument(
+        "--tile-rows", type=int, default=49,
+        help="rows per shard (the last shard may be smaller)",
+    )
+    fprogram.add_argument("--sigma", type=float, default=0.15)
+    fprogram.add_argument("--r-wire", type=float, default=0.0)
+    fprogram.add_argument("--seed", type=int, default=0)
+    fprogram.add_argument(
+        "--ir-mode",
+        choices=("ideal", "reference", "fixed_point", "nodal"),
+        default="ideal",
+    )
+    fprogram.add_argument("--n-probes", type=int, default=16)
+
+    fserve = fleet_sub.add_parser(
+        "serve", help="serve inference requests from a fleet snapshot"
+    )
+    fserve.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory holding the fleet",
+    )
+    fserve.add_argument(
+        "--fleet", type=str, required=True,
+        help="fleet key printed by `repro fleet program`",
+    )
+    fleet_io = fserve.add_mutually_exclusive_group(required=True)
+    fleet_io.add_argument(
+        "--stdin", action="store_true",
+        help="read one CSV feature vector per line, answer JSON lines",
+    )
+    fleet_io.add_argument(
+        "--port", type=int, default=None,
+        help="serve HTTP on this port (POST /predict, GET /stats)",
+    )
+    fserve.add_argument(
+        "--replicas", type=int, default=2,
+        help="serving copies per shard",
+    )
+    fserve.add_argument(
+        "--ir-mode",
+        choices=("ideal", "reference", "fixed_point", "nodal"),
+        default=None,
+        help="override the fleet's read model",
+    )
+    fserve.add_argument("--max-batch", type=int, default=32)
+    fserve.add_argument("--max-queue", type=int, default=128)
+    fserve.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds",
+    )
+    fserve.add_argument("--drift-threshold", type=float, default=0.1)
+    fserve.add_argument("--check-every", type=int, default=5)
+
+    fstatus = fleet_sub.add_parser(
+        "status",
+        help="print the per-shard replica inventory of a fleet snapshot",
+    )
+    fstatus.add_argument("--cache-dir", type=str, required=True)
+    fstatus.add_argument("--fleet", type=str, required=True)
+    fstatus.add_argument("--replicas", type=int, default=2)
 
     cache = sub.add_parser(
         "cache", help="inspect or prune the artifact cache"
@@ -466,6 +554,99 @@ def _run_serve(args: argparse.Namespace) -> int:
         service.shutdown()
 
 
+def _run_fleet_program(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.old import train_old
+    from repro.data import make_dataset
+    from repro.fleet import (
+        FleetConfig,
+        ProgrammedFleet,
+        fleet_key,
+        program_fleet,
+    )
+    from repro.runtime.cache import ArtifactCache
+
+    dataset = make_dataset(
+        n_train=args.n_train, n_test=64, seed=args.seed
+    )
+    if args.image_size != 28:
+        dataset = dataset.undersampled(args.image_size)
+    outcome = train_old(dataset.x_train, dataset.y_train, n_classes=10)
+    config = FleetConfig(
+        n_rows=dataset.n_features,
+        cols=10,
+        tile_rows=args.tile_rows,
+        sigma=args.sigma,
+        r_wire=args.r_wire,
+        seed=args.seed,
+        ir_mode=args.ir_mode,
+        n_probes=args.n_probes,
+    )
+    cache = ArtifactCache(args.cache_dir)
+    key = fleet_key(config, outcome.weights)
+    try:
+        fleet = ProgrammedFleet.load(cache, key)
+        status = "cached"
+    except KeyError:
+        fleet = program_fleet(
+            config, outcome.weights, probes=dataset.x_train[: args.n_probes]
+        )
+        fleet.save(cache, key)
+        status = "programmed"
+    print(json.dumps({
+        "key": key,
+        "status": status,
+        "n_shards": fleet.n_shards,
+        "shape": list(fleet.shape),
+        "tile_rows": config.tile_rows,
+        "training_rate": outcome.training_rate,
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def _build_fleet_service(args: argparse.Namespace, replicas: int):
+    from repro.fleet import FleetService, ProgrammedFleet
+    from repro.runtime.cache import ArtifactCache
+    from repro.serve import DriftPolicy
+
+    cache = ArtifactCache(args.cache_dir)
+    fleet = ProgrammedFleet.load(cache, args.fleet)
+    policy = None
+    if hasattr(args, "drift_threshold"):
+        policy = DriftPolicy(
+            threshold=args.drift_threshold,
+            check_every=args.check_every,
+        )
+    deadline = getattr(args, "deadline_ms", None)
+    return FleetService(
+        fleet,
+        replicas=replicas,
+        ir_mode=getattr(args, "ir_mode", None),
+        policy=policy,
+        max_batch=getattr(args, "max_batch", 32),
+        max_queue=getattr(args, "max_queue", 128),
+        default_deadline_s=None if deadline is None else deadline / 1e3,
+    )
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    import json
+
+    if args.fleet_command == "program":
+        return _run_fleet_program(args)
+    service = _build_fleet_service(args, args.replicas)
+    try:
+        if args.fleet_command == "status":
+            print(json.dumps(service.status(), indent=2, sort_keys=True))
+            return 0
+        if args.stdin:
+            return _serve_stdin(service)
+        return _serve_http(service, args.port)
+    finally:
+        service.shutdown()
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     import json
 
@@ -493,6 +674,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_program(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "fleet":
+        return _run_fleet(args)
     if args.command == "cache":
         return _run_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices

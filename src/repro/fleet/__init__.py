@@ -1,0 +1,38 @@
+"""Sharded multi-tile serving: replicas, routing, rolling recovery.
+
+The horizontal scaling layer over :mod:`repro.serve`: a large layer is
+row-partitioned into per-tile artifacts (:mod:`repro.fleet.plan`),
+each tile is served by N independent scheduler-backed replicas
+(:mod:`repro.fleet.engine`), queries are scattered and their partial
+currents reduced bit-identically to a single tiled read
+(:mod:`repro.fleet.router`), and drifted replicas are reprogrammed in
+rolling fashion without dropping below quorum
+(:mod:`repro.fleet.health`).  :class:`~repro.fleet.service.FleetService`
+wires the pieces together.
+"""
+
+from repro.fleet.engine import ReplicaDeadError, ShardReplica
+from repro.fleet.health import RollingReprogrammer, restore_replica
+from repro.fleet.plan import (
+    FleetConfig,
+    ProgrammedFleet,
+    fleet_key,
+    program_fleet,
+)
+from repro.fleet.router import FleetRouter, NoLiveReplicaError, ShardGroup
+from repro.fleet.service import FleetService
+
+__all__ = [
+    "FleetConfig",
+    "FleetRouter",
+    "FleetService",
+    "NoLiveReplicaError",
+    "ProgrammedFleet",
+    "ReplicaDeadError",
+    "RollingReprogrammer",
+    "ShardGroup",
+    "ShardReplica",
+    "fleet_key",
+    "program_fleet",
+    "restore_replica",
+]

@@ -1,0 +1,192 @@
+"""The fleet facade: programmed shard plan in, routed service out.
+
+:class:`FleetService` is the horizontal counterpart of
+:class:`~repro.serve.service.CrossbarService`: it restores every shard
+of a :class:`~repro.fleet.plan.ProgrammedFleet` into ``replicas``
+independent :class:`~repro.fleet.engine.ShardReplica` lanes, fronts
+them with a :class:`~repro.fleet.router.FleetRouter`, and keeps them
+healthy with a :class:`~repro.fleet.health.RollingReprogrammer`.  One
+shared :class:`~repro.runtime.telemetry.RunLog` collects every lane's
+request records (labelled ``shard<i>/r<j>``) and every health action,
+so :meth:`stats` summarises the whole fleet.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+from repro.fleet.engine import ShardReplica
+from repro.fleet.health import RollingReprogrammer
+from repro.fleet.plan import ProgrammedFleet
+from repro.fleet.router import FleetRouter, ShardGroup
+from repro.runtime.telemetry import (
+    FleetEvent,
+    RunLog,
+    current_run_log,
+)
+from repro.serve.health import DriftPolicy
+
+__all__ = ["FleetService"]
+
+
+class FleetService:
+    """Routed, replicated, drift-managed serving of a sharded layer.
+
+    Args:
+        fleet: The programmed shard plan to serve.
+        replicas: Serving copies per shard (2 tolerates one failure or
+            one rolling reprogram per shard with no capacity gap).
+        ir_mode: Read-model override (the fleet's own mode when
+            ``None``).
+        policy: Drift policy shared by every replica monitor and the
+            rolling reprogrammer.
+        max_batch / max_queue / default_deadline_s / min_retry_after_s:
+            Per-replica scheduler parameters.
+        microbatch: Per-replica engine microbatch size.
+        min_live: Quorum for rolling recovery (see
+            :class:`~repro.fleet.health.RollingReprogrammer`).
+        log: Telemetry sink; the ambient run log (or a private one)
+            when omitted.
+    """
+
+    def __init__(
+        self,
+        fleet: ProgrammedFleet,
+        replicas: int = 2,
+        ir_mode: str | None = None,
+        policy: DriftPolicy | None = None,
+        max_batch: int = 32,
+        max_queue: int = 128,
+        default_deadline_s: float | None = None,
+        microbatch: int = 64,
+        min_retry_after_s: float = 0.05,
+        min_live: int = 1,
+        log: RunLog | None = None,
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.fleet = fleet
+        self.replicas = int(replicas)
+        self.policy = policy if policy is not None else DriftPolicy()
+        ambient = current_run_log()
+        self.log = log if log is not None else (
+            ambient if ambient is not None else RunLog()
+        )
+        self.groups = [
+            ShardGroup(
+                i,
+                [
+                    ShardReplica(
+                        shard,
+                        shard_index=i,
+                        replica_index=r,
+                        ir_mode=ir_mode,
+                        policy=self.policy,
+                        max_batch=max_batch,
+                        max_queue=max_queue,
+                        default_deadline_s=default_deadline_s,
+                        microbatch=microbatch,
+                        min_retry_after_s=min_retry_after_s,
+                        log=self.log,
+                    )
+                    for r in range(self.replicas)
+                ],
+            )
+            for i, shard in enumerate(fleet.shards)
+        ]
+        self.router = FleetRouter(self.groups, fleet.ranges)
+        self.reprogrammer = RollingReprogrammer(
+            self.groups,
+            policy=self.policy,
+            min_live=min_live,
+            log=self.log,
+        )
+
+    # -- request path --------------------------------------------------
+    def submit(
+        self, x: np.ndarray, deadline_s: float | None = None
+    ) -> concurrent.futures.Future:
+        """Scatter one query (see :meth:`FleetRouter.submit`)."""
+        return self.router.submit(x, deadline_s)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Synchronous single-query scores."""
+        return self.router.predict(x, deadline_s, timeout)
+
+    def forward(
+        self, x: np.ndarray, timeout: float | None = None
+    ) -> np.ndarray:
+        """Scatter-gather a whole batch of queries."""
+        return self.router.forward(x, timeout)
+
+    # -- health --------------------------------------------------------
+    def kill_replica(self, shard: int, replica: int) -> None:
+        """Crash one replica (testing/benchmark failure injection)."""
+        self.groups[shard].replicas[replica].kill()
+
+    def run_recovery_cycle(self) -> list[FleetEvent]:
+        """One rolling scan-and-reprogram pass over the whole fleet."""
+        return self.reprogrammer.run_cycle()
+
+    def status(self) -> dict:
+        """Deterministic per-shard fleet inventory.
+
+        Replica discrepancies come from a probe replay, so a status
+        call costs one hardware read per live replica.
+        """
+        shards = []
+        for group, (start, stop) in zip(
+            self.groups, self.fleet.ranges
+        ):
+            lanes = []
+            for r in group.replicas:
+                lanes.append({
+                    "name": r.name,
+                    "alive": r.alive,
+                    "draining": r.draining,
+                    "depth": r.depth,
+                    "discrepancy": (
+                        round(r.monitor.discrepancy(), 6)
+                        if r.alive else None
+                    ),
+                })
+            shards.append({
+                "shard": group.shard_index,
+                "rows": [start, stop],
+                "live": len(group.live_replicas),
+                "replicas": lanes,
+            })
+        return {
+            "n_shards": self.fleet.n_shards,
+            "replicas_per_shard": self.replicas,
+            "ir_mode": self.fleet.config.ir_mode,
+            "shards": shards,
+        }
+
+    def stats(self) -> dict:
+        """Fleet-wide serving telemetry summary."""
+        summary = self.log.serve_summary()
+        labels = self.log.label_summary()
+        if labels:
+            summary["lanes"] = labels
+        return summary
+
+    # -- lifecycle -----------------------------------------------------
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Drain every replica of every shard."""
+        for group in self.groups:
+            for replica in group.replicas:
+                replica.shutdown(timeout)
+
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

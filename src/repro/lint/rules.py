@@ -54,13 +54,24 @@ _GLOBAL_STATE_FNS = frozenset(
     }
 )
 
-# Executor entry points whose first callable argument must survive
-# pickling into a worker process.
+# Executor entry points whose callable argument must survive pickling
+# into a worker process.
 _EXECUTOR_APIS = {
     "run_monte_carlo": ("trial", "batch_trial"),
     "map_trials": ("trial",),
     "map_trials_batched": ("batch_trial",),
     "parallel_map": ("fn",),
+    "RollingReprogrammer": ("reprogram_fn",),
+}
+
+# Positional index of the callable when it is passed without a keyword
+# (fleet health management takes its repair callable fourth).
+_CALLABLE_ARG_INDEX = {
+    "run_monte_carlo": 0,
+    "map_trials": 0,
+    "map_trials_batched": 0,
+    "parallel_map": 0,
+    "RollingReprogrammer": 3,
 }
 
 # Type names that make a cache-key dataclass field order- or
@@ -327,8 +338,10 @@ class FileChecker(ast.NodeVisitor):
             if kw.arg in kw_names:
                 target = kw.value
                 break
-        if target is None and node.args:
-            target = node.args[0]
+        if target is None:
+            index = _CALLABLE_ARG_INDEX[name]
+            if index < len(node.args):
+                target = node.args[index]
         if target is None:
             return
         problem = self._callable_problem(target)

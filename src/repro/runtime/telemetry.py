@@ -35,6 +35,7 @@ __all__ = [
     "ExperimentRecord",
     "RequestRecord",
     "DriftEvent",
+    "FleetEvent",
     "RunLog",
     "current_run_log",
     "use_run_log",
@@ -101,12 +102,44 @@ class RequestRecord:
         batch_size: Size of the microbatch the request rode in.
         ok: ``False`` when the request was dropped (deadline exceeded,
             shutdown) instead of answered.
+        label: Which serving lane answered the request (a fleet shard
+            replica such as ``"shard2/r0"``; empty for a single-array
+            scheduler), so one shared log can split latency per shard.
     """
 
     latency_s: float
     queue_s: float = 0.0
     batch_size: int = 1
     ok: bool = True
+    label: str = ""
+
+
+@dataclasses.dataclass
+class FleetEvent:
+    """Telemetry for one fleet health-management action.
+
+    Attributes:
+        shard: Index of the shard the action concerns.
+        replica: Index of the replica within the shard.
+        action: What happened: ``'reprogram'`` (drain + reprogram +
+            return to rotation), ``'defer'`` (drifted but recovering it
+            would drop the shard below quorum), or ``'kill'`` (replica
+            removed from rotation, e.g. a simulated crash).
+        seconds: Wall time of the action (drain through re-entry for
+            reprograms; the rolling-recovery time the fleet benchmark
+            reports).
+        discrepancy: Probe discrepancy that motivated the action, when
+            one was measured.
+        recovered_discrepancy: Probe discrepancy re-measured after a
+            reprogram (``None`` for other actions).
+    """
+
+    shard: int
+    replica: int
+    action: str
+    seconds: float = 0.0
+    discrepancy: float | None = None
+    recovered_discrepancy: float | None = None
 
 
 @dataclasses.dataclass
@@ -149,6 +182,7 @@ class RunLog:
     batches: list[TrialBatch] = dataclasses.field(default_factory=list)
     requests: list[RequestRecord] = dataclasses.field(default_factory=list)
     drift_events: list[DriftEvent] = dataclasses.field(default_factory=list)
+    fleet_events: list[FleetEvent] = dataclasses.field(default_factory=list)
     progress: ProgressCallback | None = None
 
     # -- recording -----------------------------------------------------
@@ -189,13 +223,34 @@ class RunLog:
         queue_s: float = 0.0,
         batch_size: int = 1,
         ok: bool = True,
+        label: str = "",
     ) -> RequestRecord:
         record = RequestRecord(
             latency_s=latency_s, queue_s=queue_s, batch_size=batch_size,
-            ok=ok,
+            ok=ok, label=label,
         )
         self.requests.append(record)
         return record
+
+    def record_fleet(
+        self,
+        shard: int,
+        replica: int,
+        action: str,
+        seconds: float = 0.0,
+        discrepancy: float | None = None,
+        recovered_discrepancy: float | None = None,
+    ) -> FleetEvent:
+        event = FleetEvent(
+            shard=shard,
+            replica=replica,
+            action=action,
+            seconds=seconds,
+            discrepancy=discrepancy,
+            recovered_discrepancy=recovered_discrepancy,
+        )
+        self.fleet_events.append(event)
+        return event
 
     def record_drift(
         self,
@@ -284,6 +339,36 @@ class RunLog:
             ),
         }
         summary.update(self.latency_percentiles())
+        if self.fleet_events:
+            summary["fleet_events"] = len(self.fleet_events)
+            summary["reprograms"] = sum(
+                1 for e in self.fleet_events if e.action == "reprogram"
+            )
+        return summary
+
+    def label_summary(self) -> dict[str, dict]:
+        """Per-label (per fleet shard replica) request breakdown.
+
+        Labels sort lexicographically so the summary is deterministic
+        for a fixed request history.
+        """
+        by_label: dict[str, list[RequestRecord]] = {}
+        for record in self.requests:
+            if record.label:
+                by_label.setdefault(record.label, []).append(record)
+        summary = {}
+        for label in sorted(by_label):
+            records = by_label[label]
+            answered = [r for r in records if r.ok]
+            summary[label] = {
+                "requests": len(records),
+                "answered": len(answered),
+                "dropped": len(records) - len(answered),
+                "mean_latency_s": (
+                    sum(r.latency_s for r in answered) / len(answered)
+                    if answered else 0.0
+                ),
+            }
         return summary
 
     # -- rendering -----------------------------------------------------
@@ -336,6 +421,16 @@ class RunLog:
                 f"p99 {s['p99'] * 1e3:.2f}ms, "
                 f"{s['drift_events']} drift events ({s['remaps']} remaps)"
             )
+        if self.fleet_events:
+            reprograms = [
+                e for e in self.fleet_events if e.action == "reprogram"
+            ]
+            recovery = sum(e.seconds for e in reprograms)
+            lines.append(
+                f"fleet {len(self.fleet_events)} events "
+                f"({len(reprograms)} rolling reprograms, "
+                f"{recovery:.2f}s total recovery)"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -348,6 +443,9 @@ class RunLog:
                 "batches": [dataclasses.asdict(b) for b in self.batches],
                 "drift_events": [
                     dataclasses.asdict(e) for e in self.drift_events
+                ],
+                "fleet_events": [
+                    dataclasses.asdict(e) for e in self.fleet_events
                 ],
                 "recomputed_experiments": self.recomputed_experiments,
                 "cached_experiments": self.cached_experiments,

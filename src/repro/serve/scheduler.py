@@ -83,6 +83,12 @@ class BatchScheduler:
             (the drift monitor's entry point).
         log: Telemetry sink; the ambient run log (or a private one)
             when omitted.
+        min_retry_after_s: Floor for the overload retry-after hint.
+            Before the first batch completes there is no throughput
+            sample, so a cold-start rejection falls back to this floor
+            instead of advertising an instant (or zero) retry.
+        label: Serving-lane tag stamped on every request record (the
+            fleet uses ``"shard<i>/r<j>"``); empty for a lone scheduler.
     """
 
     def __init__(
@@ -93,16 +99,24 @@ class BatchScheduler:
         default_deadline_s: float | None = None,
         on_batch: Callable[[], None] | None = None,
         log: RunLog | None = None,
+        min_retry_after_s: float = 0.05,
+        label: str = "",
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_queue < 1:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if min_retry_after_s <= 0:
+            raise ValueError(
+                f"min_retry_after_s must be > 0, got {min_retry_after_s}"
+            )
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_queue = int(max_queue)
         self.default_deadline_s = default_deadline_s
         self.on_batch = on_batch
+        self.min_retry_after_s = float(min_retry_after_s)
+        self.label = label
         ambient = current_run_log()
         self.log = log if log is not None else (
             ambient if ambient is not None else RunLog()
@@ -110,7 +124,9 @@ class BatchScheduler:
         self.batches_served = 0
         self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue)
         self._closed = False
-        self._batch_seconds = 0.05  # EMA; seeds the retry-after hint
+        # EMA of per-batch wall time; None until the first batch lands
+        # so cold-start backpressure can fall back to the floor.
+        self._batch_seconds: float | None = None
         self._worker = threading.Thread(
             target=self._run, name="repro-serve-worker", daemon=True
         )
@@ -141,12 +157,26 @@ class BatchScheduler:
             self._queue.put_nowait(request)
         except queue.Full:
             # Hint: time to drain the current backlog at the recent
-            # per-batch pace.
+            # per-batch pace, never below the configured floor (a cold
+            # scheduler has no pace sample and must not advertise an
+            # instant retry).
             backlog_batches = 1 + self._queue.qsize() / self.max_batch
+            pace = (
+                self._batch_seconds
+                if self._batch_seconds is not None
+                else self.min_retry_after_s
+            )
             raise ServeOverloadedError(
-                retry_after_s=backlog_batches * self._batch_seconds
+                retry_after_s=max(
+                    self.min_retry_after_s, backlog_batches * pace
+                )
             ) from None
         return request.future
+
+    @property
+    def depth(self) -> int:
+        """Current queue depth (the fleet router's load signal)."""
+        return self._queue.qsize()
 
     def predict(
         self,
@@ -207,6 +237,7 @@ class BatchScheduler:
                     queue_s=start - request.submitted,
                     batch_size=len(batch),
                     ok=False,
+                    label=self.label,
                 )
             else:
                 live.append(request)
@@ -222,8 +253,11 @@ class BatchScheduler:
                 request.future.set_exception(exc)
             return
         done = time.monotonic()
+        measured = done - start
         self._batch_seconds = (
-            0.7 * self._batch_seconds + 0.3 * (done - start)
+            measured
+            if self._batch_seconds is None
+            else 0.7 * self._batch_seconds + 0.3 * measured
         )
         for i, request in enumerate(live):
             request.future.set_result(scores[i])
@@ -232,6 +266,7 @@ class BatchScheduler:
                 queue_s=start - request.submitted,
                 batch_size=len(live),
                 ok=True,
+                label=self.label,
             )
 
     def _run(self) -> None:

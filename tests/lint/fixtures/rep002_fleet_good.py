@@ -1,0 +1,30 @@
+"""REP002 negative fixture: picklable fleet repair callables."""
+
+import functools
+
+from repro.fleet import RollingReprogrammer, restore_replica
+
+
+def _repair(replica, strict=False):
+    restore_replica(replica)
+
+
+def default_repair(groups):
+    # No callable passed at all: the picklable default applies.
+    return RollingReprogrammer(groups)
+
+
+def module_level(groups):
+    return RollingReprogrammer(groups, reprogram_fn=restore_replica)
+
+
+def partial_over_module_level(groups):
+    return RollingReprogrammer(
+        groups, reprogram_fn=functools.partial(_repair, strict=True)
+    )
+
+
+def early_positionals_are_not_callables(groups, policy):
+    # groups/policy/min_live occupy the first three positions; none of
+    # them is the repair callable, so none should be inspected.
+    return RollingReprogrammer(groups, policy, 2)

@@ -81,6 +81,75 @@ class TestScheduling:
             gate.set()
             sched.shutdown()
 
+    def test_cold_start_overload_respects_retry_floor(self):
+        # A queue that fills before the first batch ever completes has
+        # no throughput sample; the hint must fall back to the
+        # configured floor, never 0.0s.
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(
+            engine, max_batch=4, max_queue=2, min_retry_after_s=0.25
+        )
+        try:
+            assert sched._batch_seconds is None  # truly cold
+            with pytest.raises(ServeOverloadedError) as excinfo:
+                for _ in range(7):
+                    sched.submit(np.ones(4))
+            assert excinfo.value.retry_after_s >= 0.25
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_warm_overload_hint_never_below_floor(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(
+            engine, max_batch=4, max_queue=2, min_retry_after_s=0.5
+        )
+        try:
+            first = sched.submit(np.ones(4))
+            assert engine.entered.wait(timeout=5.0)
+            gate.set()
+            assert first.result(timeout=5.0) is not None
+            # The EMA now holds a (tiny) real sample; the floor still
+            # bounds the hint from below.
+            assert sched._batch_seconds is not None
+            gate.clear()
+            with pytest.raises(ServeOverloadedError) as excinfo:
+                for _ in range(7):
+                    sched.submit(np.ones(4))
+            assert excinfo.value.retry_after_s >= 0.5
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_retry_floor_validated(self):
+        with pytest.raises(ValueError, match="min_retry_after_s"):
+            BatchScheduler(FakeEngine(), min_retry_after_s=0.0)
+
+    def test_depth_reports_queue_backlog(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(engine, max_batch=1, max_queue=8)
+        try:
+            sched.submit(np.ones(4))
+            assert engine.entered.wait(timeout=5.0)
+            sched.submit(np.ones(4))
+            sched.submit(np.ones(4))
+            assert sched.depth == 2
+        finally:
+            gate.set()
+            sched.shutdown()
+
+    def test_label_stamped_on_request_records(self):
+        log = RunLog()
+        with BatchScheduler(
+            FakeEngine(), log=log, label="shard3/r1"
+        ) as sched:
+            sched.predict(np.ones(4), timeout=5.0)
+        assert [r.label for r in log.requests] == ["shard3/r1"]
+        assert "shard3/r1" in log.label_summary()
+
     def test_expired_deadline_drops_request(self):
         gate = threading.Event()
         engine = FakeEngine(gate=gate)

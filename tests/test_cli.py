@@ -271,6 +271,70 @@ class TestServeParser:
             )
 
 
+class TestFleetParser:
+    def test_program_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "program", "--cache-dir", "/tmp/c"]
+        )
+        assert args.command == "fleet"
+        assert args.fleet_command == "program"
+        assert args.image_size == 14
+        assert args.tile_rows == 49
+        assert args.ir_mode == "ideal"
+
+    def test_serve_requires_io_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["fleet", "serve", "--cache-dir", "/tmp/c",
+                 "--fleet", "k"]
+            )
+
+    def test_serve_options(self):
+        args = build_parser().parse_args([
+            "fleet", "serve", "--cache-dir", "/tmp/c", "--fleet", "k",
+            "--stdin", "--replicas", "3", "--drift-threshold", "0.1",
+        ])
+        assert args.replicas == 3
+        assert args.drift_threshold == 0.1
+
+    def test_status_defaults(self):
+        args = build_parser().parse_args(
+            ["fleet", "status", "--cache-dir", "/tmp/c", "--fleet", "k"]
+        )
+        assert args.fleet_command == "status"
+        assert args.replicas == 2
+
+
+class TestFleetProgramAndStatus:
+    def test_program_then_status(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "fleet", "program", "--cache-dir", cache_dir,
+            "--image-size", "7", "--n-train", "120",
+            "--tile-rows", "16", "--seed", "4",
+        ]
+        assert main(argv) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "programmed"
+        assert summary["n_shards"] == 4  # 49 rows in 16-row tiles
+
+        # Identical settings are a pure cache read.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "cached"
+
+        assert main([
+            "fleet", "status", "--cache-dir", cache_dir,
+            "--fleet", summary["key"],
+        ]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["n_shards"] == 4
+        shard = status["shards"][0]
+        assert shard["live"] == 2
+        assert all(lane["alive"] for lane in shard["replicas"])
+
+
 class TestCacheCommands:
     def test_stats_on_empty_cache(self, tmp_path, capsys):
         import json

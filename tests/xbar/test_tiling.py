@@ -35,6 +35,26 @@ class TestSplitRows:
     def test_single_tile(self):
         assert split_rows(5, 100) == [(0, 5)]
 
+    def test_tile_rows_exceeding_n_rows_covers_everything(self):
+        ranges = split_rows(3, 4)
+        assert ranges == [(0, 3)]
+        assert ranges[-1][1] == 3  # no phantom rows past the layer
+
+    def test_exact_multiple_has_no_stub_tile(self):
+        assert split_rows(12, 12) == [(0, 12)]
+        assert split_rows(12, 6) == [(0, 6), (6, 12)]
+        # Ranges partition [0, n_rows) exactly: contiguous, disjoint.
+        for n_rows, tile_rows in [(12, 12), (12, 6), (13, 6), (1, 1)]:
+            ranges = split_rows(n_rows, tile_rows)
+            assert ranges[0][0] == 0
+            assert ranges[-1][1] == n_rows
+            assert all(
+                a[1] == b[0] for a, b in zip(ranges, ranges[1:])
+            )
+
+    def test_single_row_layer(self):
+        assert split_rows(1, 8) == [(0, 1)]
+
     def test_validation(self):
         with pytest.raises(ValueError, match="n_rows"):
             split_rows(0, 4)
@@ -105,6 +125,42 @@ class TestTiledPair:
             return float(np.mean(np.abs(out - ideal)))
 
         assert error(24) < error(96)
+
+    @pytest.mark.parametrize("ir_mode", ["ideal", "nodal"])
+    def test_batched_read_bit_identical_to_looped_reads(self, rng, ir_mode):
+        # The serving contract, extended to tiles: one batched read
+        # (multi-RHS solve per tile) equals looping the single-query
+        # path, bit for bit, so schedulers may batch freely.
+        w = rng.uniform(-1, 1, (24, 4))
+        x = rng.random((7, 24))
+        tiled = make_tiled(r_wire=2.0 if ir_mode == "nodal" else 0.0)
+        tiled.program_weights(w, with_cycle_noise=False)
+        batched = tiled.matvec(x, ir_mode)
+        looped = np.stack([tiled.matvec(q, ir_mode) for q in x])
+        assert np.array_equal(batched, looped)
+
+    def test_partial_matvec_reduces_to_matvec(self, rng):
+        w = rng.uniform(-1, 1, (24, 4))
+        x = rng.random((5, 24))
+        tiled = make_tiled()
+        tiled.program_weights(w, with_cycle_noise=False)
+        parts = tiled.partial_matvec(x)
+        assert len(parts) == tiled.n_tiles
+        assert all(p.shape == (5, 4) for p in parts)
+        assert np.array_equal(
+            TiledPair.reduce_partials(parts), tiled.matvec(x)
+        )
+
+    def test_partial_matvec_validates_width(self, rng):
+        tiled = make_tiled()
+        tiled.program_weights(rng.uniform(-1, 1, (24, 4)),
+                              with_cycle_noise=False)
+        with pytest.raises(ValueError, match="width"):
+            tiled.partial_matvec(np.ones(23))
+
+    def test_reduce_partials_rejects_empty(self):
+        with pytest.raises(ValueError, match="partial"):
+            TiledPair.reduce_partials([])
 
     def test_adc_calibration_per_tile(self, rng):
         tiled = make_tiled(adc_bits=6)
