@@ -25,6 +25,7 @@ from typing import Sequence
 import numpy as np
 from scipy import stats
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.devices.variation import (
     lognormal_multipliers,
     sample_standard_thetas,
@@ -96,6 +97,7 @@ def stacked_standard_thetas(
     rngs: Sequence[np.random.Generator],
     distribution: str,
     shape: tuple[int, ...],
+    xp: ArrayBackend | str | None = None,
 ) -> np.ndarray:
     """Per-trial unit-std theta draws, stacked to ``(T,) + shape``.
 
@@ -103,10 +105,14 @@ def stacked_standard_thetas(
     ``sample_standard_thetas(rngs[t], distribution, shape)`` -- each
     generator advances precisely as it would in the scalar trial, so a
     batched kernel built on this stack reproduces the looped path
-    bit-for-bit.
+    bit-for-bit.  ``xp`` selects the array namespace of the *stacked*
+    result; the draws themselves always come from the numpy generators
+    (stream identity across backends, see :mod:`repro.backend`).
     """
-    return np.stack([
-        sample_standard_thetas(rng, distribution, shape) for rng in rngs
+    bk = resolve_backend(xp)
+    return bk.stack([
+        bk.asarray(sample_standard_thetas(rng, distribution, shape))
+        for rng in rngs
     ])
 
 
@@ -115,6 +121,7 @@ def stacked_parametric_thetas(
     sigma: float,
     distribution: str,
     shape: tuple[int, ...],
+    xp: ArrayBackend | str | None = None,
 ) -> np.ndarray:
     """Per-trial persistent device thetas, stacked to ``(T,) + shape``.
 
@@ -123,15 +130,17 @@ def stacked_parametric_thetas(
     advance) -- the batched and scalar paths must consume identical
     numbers of draws from every generator.
     """
+    bk = resolve_backend(xp)
     if sigma == 0:
-        return np.zeros((len(rngs),) + shape)
-    return sigma * stacked_standard_thetas(rngs, distribution, shape)
+        return bk.zeros((len(rngs),) + shape)
+    return sigma * stacked_standard_thetas(rngs, distribution, shape, xp=bk)
 
 
 def stacked_cycle_multipliers(
     rngs: Sequence[np.random.Generator],
     sigma_cycle: float,
     shape: tuple[int, ...],
+    xp: ArrayBackend | str | None = None,
 ) -> np.ndarray:
     """Per-trial cycle-to-cycle multipliers, stacked to ``(T,) + shape``.
 
@@ -139,8 +148,10 @@ def stacked_cycle_multipliers(
     shape)``; ``sigma_cycle == 0`` returns ones without advancing any
     stream, matching the scalar model.
     """
+    bk = resolve_backend(xp)
     if sigma_cycle == 0:
-        return np.ones((len(rngs),) + shape)
-    return np.stack([
-        lognormal_multipliers(rng, sigma_cycle, shape) for rng in rngs
+        return bk.ones((len(rngs),) + shape)
+    return bk.stack([
+        bk.asarray(lognormal_multipliers(rng, sigma_cycle, shape))
+        for rng in rngs
     ])

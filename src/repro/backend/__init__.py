@@ -1,0 +1,26 @@
+"""Multi-backend array core: one kernel source, many array libraries.
+
+See :mod:`repro.backend.core` for the contracts (numpy = bit-identical
+reference path, torch = documented-tolerance parity path) and
+``docs/backends.md`` for the user-facing guide.
+"""
+
+from repro.backend.core import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    get_namespace,
+    register_backend,
+    resolve_backend,
+    to_numpy,
+)
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_namespace",
+    "register_backend",
+    "resolve_backend",
+    "to_numpy",
+]

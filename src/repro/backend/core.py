@@ -1,0 +1,245 @@
+"""Array-namespace abstraction for the hot kernels.
+
+``repro`` keeps one source of truth for its crossbar math, written
+against a small array namespace (:class:`ArrayBackend`) instead of
+``numpy`` directly.  The namespace covers the ~25 operations the
+kernels actually use (einsum, stacking, clip/where, elementwise math,
+axis reductions, quantiles) plus the conversion boundary
+(``asarray`` / ``to_numpy``) and an RNG bridge.
+
+Two contracts, deliberately asymmetric:
+
+* The **numpy backend is the reference path**: every method delegates
+  to the exact ``numpy`` call the kernels used before the refactor, so
+  running a ported kernel with the default backend is *bit-identical*
+  to the pre-refactor code.  ``tests/backend/test_golden.py`` pins
+  this against captured pre-refactor outputs.
+* Alternate backends (torch) are **parity paths**: numerically close
+  (atol/rtol-based, see ``docs/backends.md``) but not bit-identical,
+  because accumulation order differs between BLAS implementations.
+
+Randomness never moves off numpy.  All draws come from
+``numpy.random.Generator`` objects derived from the experiment's
+``SeedSequence`` tree and are then converted to the active backend
+(:meth:`ArrayBackend.standard_normal` and friends).  This keeps the
+random *stream* identical across backends, so parity differences can
+only come from arithmetic, never from sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Union
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "available_backends",
+    "get_namespace",
+    "register_backend",
+    "resolve_backend",
+    "to_numpy",
+]
+
+BackendSpec = Union[str, "ArrayBackend", None]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a requested backend cannot be constructed."""
+
+
+class ArrayBackend:
+    """Base class for array namespaces.
+
+    Subclasses implement the operation set on their library's arrays.
+    Instances are lightweight, stateless and picklable: pickling
+    round-trips through :func:`get_namespace` by name, so a backend
+    object can ride along into process-pool workers.
+    """
+
+    #: Registry name ("numpy", "torch", ...).
+    name: str = ""
+
+    def __reduce__(self):
+        return (get_namespace, (self.name,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+    @property
+    def is_reference(self) -> bool:
+        """True for the bit-identical numpy reference path."""
+        return self.name == "numpy"
+
+    # -- conversion boundary ------------------------------------------
+
+    def asarray(self, x: Any, dtype: Any = float) -> Any:
+        raise NotImplementedError
+
+    def to_numpy(self, x: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- RNG bridge (draws always come from numpy Generators) ---------
+
+    def standard_normal(self, rng: np.random.Generator, shape) -> Any:
+        return self.asarray(rng.standard_normal(shape))
+
+    def uniform(self, rng: np.random.Generator, low, high, shape) -> Any:
+        return self.asarray(rng.uniform(low, high, size=shape))
+
+    def lognormal(self, rng: np.random.Generator, sigma: float, shape) -> Any:
+        """``exp(N(0, sigma))`` multipliers; draw on numpy, exp on backend."""
+        return self.exp(self.asarray(rng.normal(0.0, sigma, size=shape)))
+
+    # -- generic ops shared by all namespaces -------------------------
+
+    def take_range(self, x, start: int, stop: int, axis: int):
+        """Contiguous range along ``axis``; values match ``np.take``."""
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(start, stop)
+        return x[tuple(index)]
+
+
+def _backend_op(np_func: Callable, *, method_name: str | None = None):
+    """Build a NumpyBackend method that *is* the given numpy function.
+
+    Delegating with ``*args, **kwargs`` (rather than re-spelling each
+    signature) guarantees the reference path calls the identical numpy
+    entry point the kernels called before the refactor.
+    """
+
+    def op(self, *args, **kwargs):
+        return np_func(*args, **kwargs)
+
+    op.__name__ = method_name or np_func.__name__
+    op.__doc__ = f"Delegates to ``numpy.{np_func.__name__}``."
+    return op
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference namespace: every op is the plain numpy call."""
+
+    name = "numpy"
+
+    def asarray(self, x, dtype=float):
+        return np.asarray(x, dtype=dtype)
+
+    def to_numpy(self, x):
+        return np.asarray(x)
+
+    # Elementwise / shaping ops: direct numpy delegation so the
+    # reference path stays function-identical to pre-refactor code.
+    einsum = _backend_op(np.einsum)
+    stack = _backend_op(np.stack)
+    concatenate = _backend_op(np.concatenate)
+    where = _backend_op(np.where)
+    clip = _backend_op(np.clip)
+    exp = _backend_op(np.exp)
+    log = _backend_op(np.log)
+    sqrt = _backend_op(np.sqrt)
+    abs = _backend_op(np.abs, method_name="abs")
+    sign = _backend_op(np.sign)
+    round = _backend_op(np.round, method_name="round")
+    maximum = _backend_op(np.maximum)
+    minimum = _backend_op(np.minimum)
+    quantile = _backend_op(np.quantile)
+    argmax = _backend_op(np.argmax)
+    mean = _backend_op(np.mean)
+    sum = _backend_op(np.sum, method_name="sum")
+    zeros = _backend_op(np.zeros)
+    ones = _backend_op(np.ones)
+    full = _backend_op(np.full)
+    atleast_2d = _backend_op(np.atleast_2d)
+
+
+_REGISTRY: Dict[str, Callable[[], ArrayBackend]] = {}
+_INSTANCES: Dict[str, ArrayBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory may raise :class:`BackendUnavailableError` (e.g. when
+    an optional dependency is missing); the name still shows up to
+    :func:`get_namespace` with a clear error, but not in
+    :func:`available_backends`.
+    """
+    _REGISTRY[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def get_namespace(name: str) -> ArrayBackend:
+    """Return the :class:`ArrayBackend` registered under ``name``.
+
+    Raises :class:`BackendUnavailableError` when the backend exists
+    but cannot be constructed (missing optional dependency) and
+    ``ValueError`` for names that were never registered.
+    """
+    if name in _INSTANCES:
+        return _INSTANCES[name]
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown array backend {name!r} (known: {known})")
+    backend = _REGISTRY[name]()
+    _INSTANCES[name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of backends that can actually be constructed, in
+    registration order (numpy first)."""
+    names = []
+    for name in _REGISTRY:
+        try:
+            get_namespace(name)
+        except BackendUnavailableError:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def resolve_backend(backend: BackendSpec) -> ArrayBackend:
+    """Normalise a backend argument.
+
+    ``None`` resolves to the numpy reference path, strings go through
+    :func:`get_namespace`, and :class:`ArrayBackend` instances pass
+    through unchanged.
+    """
+    if backend is None:
+        return get_namespace("numpy")
+    if isinstance(backend, ArrayBackend):
+        return backend
+    if isinstance(backend, str):
+        return get_namespace(backend)
+    raise TypeError(
+        f"backend must be None, a name, or an ArrayBackend, "
+        f"got {type(backend).__name__}"
+    )
+
+
+def to_numpy(x: Any) -> np.ndarray:
+    """Convert any backend's array (or a nested python structure of
+    scalars) to a numpy array without importing optional libraries."""
+    if isinstance(x, np.ndarray):
+        return x
+    detach = getattr(x, "detach", None)
+    if detach is not None:  # torch tensors, including CUDA
+        x = detach()
+        cpu = getattr(x, "cpu", None)
+        if cpu is not None:
+            x = cpu()
+        return x.numpy()
+    return np.asarray(x)
+
+
+register_backend("numpy", NumpyBackend)
+
+
+def _torch_factory() -> ArrayBackend:
+    from repro.backend.torch_backend import TorchBackend
+
+    return TorchBackend()
+
+
+register_backend("torch", _torch_factory)

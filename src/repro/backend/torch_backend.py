@@ -1,0 +1,179 @@
+"""Torch array namespace (optional dependency).
+
+Importing this module requires ``torch``; the registry factory in
+:mod:`repro.backend.core` translates an ``ImportError`` into
+:class:`~repro.backend.core.BackendUnavailableError`, so the rest of
+the package never needs torch installed.
+
+All tensors are ``float64`` on CPU by default (matching the numpy
+kernels' dtype so parity tolerances stay tight); pass ``device="cuda"``
+to :class:`TorchBackend` for GPU execution.  Random draws still come
+from numpy generators — see :mod:`repro.backend.core` — so the torch
+path consumes the *same* random stream as the reference path and
+differs only by floating-point accumulation order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.core import ArrayBackend, BackendUnavailableError
+
+try:  # pragma: no cover - exercised only when torch is installed
+    import torch
+except ImportError as exc:  # pragma: no cover
+    raise BackendUnavailableError(
+        "the 'torch' backend requires PyTorch; install it with e.g. "
+        "pip install torch --index-url "
+        "https://download.pytorch.org/whl/cpu"
+    ) from exc
+
+_DTYPES = {
+    float: torch.float64,
+    bool: torch.bool,
+    int: torch.int64,
+}
+
+
+class TorchBackend(ArrayBackend):
+    """Parity namespace backed by ``torch`` tensors."""
+
+    name = "torch"
+
+    def __init__(self, device: str = "cpu") -> None:
+        self.device = torch.device(device)
+
+    def _dtype(self, dtype):
+        return _DTYPES.get(dtype, dtype if dtype is not None else None)
+
+    # -- conversion boundary ------------------------------------------
+
+    def asarray(self, x, dtype=float):
+        if isinstance(x, torch.Tensor):
+            tensor = x
+        else:
+            tensor = torch.as_tensor(np.asarray(x))
+        return tensor.to(device=self.device, dtype=self._dtype(dtype))
+
+    def to_numpy(self, x):
+        if isinstance(x, torch.Tensor):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    # -- op set --------------------------------------------------------
+
+    def einsum(self, subscripts, *operands):
+        return torch.einsum(subscripts, *(self.asarray(o) for o in operands))
+
+    def stack(self, arrays, axis=0):
+        return torch.stack([self.asarray(a) for a in arrays], dim=axis)
+
+    def concatenate(self, arrays, axis=0):
+        return torch.cat([self.asarray(a) for a in arrays], dim=axis)
+
+    def where(self, condition, x, y):
+        cond = torch.as_tensor(condition, device=self.device, dtype=torch.bool)
+        if not isinstance(x, torch.Tensor):
+            x = torch.as_tensor(x, device=self.device, dtype=torch.float64)
+        if not isinstance(y, torch.Tensor):
+            y = torch.as_tensor(y, device=self.device, dtype=torch.float64)
+        return torch.where(cond, x, y)
+
+    def clip(self, x, lo, hi):
+        x = self.asarray(x, dtype=None)
+        lo = None if lo is None else torch.as_tensor(
+            lo, device=self.device, dtype=x.dtype
+        )
+        hi = None if hi is None else torch.as_tensor(
+            hi, device=self.device, dtype=x.dtype
+        )
+        return torch.clamp(x, min=lo, max=hi)
+
+    def exp(self, x):
+        return torch.exp(self.asarray(x))
+
+    def log(self, x):
+        return torch.log(self.asarray(x))
+
+    def sqrt(self, x):
+        return torch.sqrt(self.asarray(x))
+
+    def abs(self, x):
+        return torch.abs(self.asarray(x, dtype=None))
+
+    def sign(self, x):
+        return torch.sign(self.asarray(x))
+
+    def round(self, x):
+        # torch.round rounds half to even, matching numpy.round.
+        return torch.round(self.asarray(x))
+
+    def maximum(self, x, y):
+        x = self.asarray(x)
+        return torch.maximum(x, torch.as_tensor(y, device=self.device,
+                                                dtype=x.dtype))
+
+    def minimum(self, x, y):
+        x = self.asarray(x)
+        return torch.minimum(x, torch.as_tensor(y, device=self.device,
+                                                dtype=x.dtype))
+
+    def quantile(self, x, q, axis=None):
+        x = self.asarray(x)
+        if axis is None:
+            return torch.quantile(x.reshape(-1), q)
+        if isinstance(axis, tuple):
+            # torch.quantile takes a single dim; flatten the requested
+            # axes (must be trailing-contiguous, which is all the
+            # kernels use) into one.
+            axes = sorted(a % x.ndim for a in axis)
+            if axes != list(range(axes[0], axes[0] + len(axes))):
+                raise ValueError(
+                    f"torch quantile needs contiguous axes, got {axis}"
+                )
+            shape = list(x.shape)
+            lead = shape[: axes[0]]
+            tail = shape[axes[-1] + 1:]
+            flat = int(np.prod([shape[a] for a in axes]))
+            x = x.reshape(lead + [flat] + tail)
+            return torch.quantile(x, q, dim=axes[0])
+        return torch.quantile(x, q, dim=axis)
+
+    def argmax(self, x, axis=None):
+        x = self.asarray(x, dtype=None)
+        if axis is None:
+            return torch.argmax(x)
+        return torch.argmax(x, dim=axis)
+
+    def mean(self, x, axis=None):
+        x = self.asarray(x, dtype=None)
+        if x.dtype in (torch.bool, torch.int64):
+            x = x.to(torch.float64)
+        if axis is None:
+            return torch.mean(x)
+        return torch.mean(x, dim=axis)
+
+    def sum(self, x, axis=None):
+        x = self.asarray(x, dtype=None)
+        if axis is None:
+            return torch.sum(x)
+        return torch.sum(x, dim=axis)
+
+    def zeros(self, shape, dtype=float):
+        return torch.zeros(self._shape(shape), dtype=self._dtype(dtype),
+                           device=self.device)
+
+    def ones(self, shape, dtype=float):
+        return torch.ones(self._shape(shape), dtype=self._dtype(dtype),
+                          device=self.device)
+
+    def full(self, shape, fill_value, dtype=float):
+        return torch.full(self._shape(shape), float(fill_value),
+                          dtype=self._dtype(dtype), device=self.device)
+
+    def atleast_2d(self, x):
+        return torch.atleast_2d(self.asarray(x, dtype=None))
+
+    @staticmethod
+    def _shape(shape):
+        return (shape,) if isinstance(shape, int) else tuple(shape)

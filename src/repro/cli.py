@@ -49,9 +49,82 @@ def _write_text(path: str | Path, text: str) -> None:
     target.write_text(text, encoding="utf-8")
 
 
+_IR_MODE_CHOICES = ("ideal", "reference", "fixed_point", "nodal")
+_BACKEND_CHOICES = ("numpy", "torch")
+
+
+def _add_programming_options(
+    parser: argparse.ArgumentParser,
+    image_size_default: int = 7,
+    sigma_default: float = 0.3,
+) -> None:
+    """Options shared by ``repro program`` and ``repro fleet program``.
+
+    Both subcommands build the same (dataset, training, fabric) recipe;
+    only their geometry extras (redundancy vs. tile rows) differ, so
+    the shared surface lives here and cannot drift apart.
+    """
+    parser.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory the snapshot is stored in",
+    )
+    parser.add_argument(
+        "--image-size", type=int, choices=(7, 14, 28),
+        default=image_size_default,
+    )
+    parser.add_argument("--n-train", type=int, default=300)
+    parser.add_argument("--sigma", type=float, default=sigma_default)
+    parser.add_argument("--r-wire", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--ir-mode", choices=_IR_MODE_CHOICES, default="ideal",
+    )
+    parser.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default="numpy",
+        help=(
+            "array namespace recorded as the snapshot's serving "
+            "default; programming itself always runs the numpy "
+            "reference path"
+        ),
+    )
+
+
+def _add_serving_options(parser: argparse.ArgumentParser) -> None:
+    """Options shared by ``repro serve`` and ``repro fleet serve``."""
+    io_mode = parser.add_mutually_exclusive_group(required=True)
+    io_mode.add_argument(
+        "--stdin", action="store_true",
+        help="read one CSV feature vector per line, answer JSON lines",
+    )
+    io_mode.add_argument(
+        "--port", type=int, default=None,
+        help="serve HTTP on this port (POST /predict, GET /stats)",
+    )
+    parser.add_argument(
+        "--ir-mode", choices=_IR_MODE_CHOICES, default=None,
+        help="override the snapshot's read model",
+    )
+    parser.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default=None,
+        help=(
+            "array namespace to serve with (default: the snapshot's "
+            "recorded serving default)"
+        ),
+    )
+    parser.add_argument("--max-batch", type=int, default=32)
+    parser.add_argument("--max-queue", type=int, default=128)
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="default per-request deadline in milliseconds",
+    )
+    parser.add_argument("--drift-threshold", type=float, default=0.1)
+    parser.add_argument("--check-every", type=int, default=5)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
     import repro
+    from repro.backend import available_backends
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -63,7 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--version",
         action="version",
-        version=f"%(prog)s {repro.__version__}",
+        version=(
+            f"%(prog)s {repro.__version__} "
+            f"(backends: {', '.join(available_backends())})"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -124,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the structured telemetry run log to this JSON file",
     )
+    report.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default="numpy",
+        help=(
+            "array namespace for backend-aware kernels (numpy is the "
+            "bit-identical reference; torch needs the optional "
+            "dependency installed)"
+        ),
+    )
 
     quick = sub.add_parser(
         "quickstart", help="run the end-to-end Vortex pipeline demo"
@@ -149,26 +233,12 @@ def build_parser() -> argparse.ArgumentParser:
             "cache (prints the artifact key)"
         ),
     )
-    program.add_argument(
-        "--cache-dir", type=str, required=True,
-        help="artifact cache directory the snapshot is stored in",
-    )
+    _add_programming_options(program, image_size_default=7,
+                             sigma_default=0.3)
     program.add_argument(
         "--scheme", choices=("vortex", "old", "cld"), default="vortex"
     )
-    program.add_argument(
-        "--image-size", type=int, choices=(7, 14, 28), default=7
-    )
-    program.add_argument("--n-train", type=int, default=300)
-    program.add_argument("--sigma", type=float, default=0.3)
-    program.add_argument("--r-wire", type=float, default=0.0)
     program.add_argument("--redundancy", type=int, default=8)
-    program.add_argument("--seed", type=int, default=0)
-    program.add_argument(
-        "--ir-mode",
-        choices=("ideal", "reference", "fixed_point", "nodal"),
-        default="ideal",
-    )
 
     serve = sub.add_parser(
         "serve",
@@ -182,29 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--artifact", type=str, required=True,
         help="artifact key printed by `repro program`",
     )
-    io_mode = serve.add_mutually_exclusive_group(required=True)
-    io_mode.add_argument(
-        "--stdin", action="store_true",
-        help="read one CSV feature vector per line, answer JSON lines",
-    )
-    io_mode.add_argument(
-        "--port", type=int, default=None,
-        help="serve HTTP on this port (POST /predict, GET /stats)",
-    )
-    serve.add_argument(
-        "--ir-mode",
-        choices=("ideal", "reference", "fixed_point", "nodal"),
-        default=None,
-        help="override the artifact's read model",
-    )
-    serve.add_argument("--max-batch", type=int, default=32)
-    serve.add_argument("--max-queue", type=int, default=128)
-    serve.add_argument(
-        "--deadline-ms", type=float, default=None,
-        help="default per-request deadline in milliseconds",
-    )
-    serve.add_argument("--drift-threshold", type=float, default=0.1)
-    serve.add_argument("--check-every", type=int, default=5)
+    _add_serving_options(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -222,25 +270,11 @@ def build_parser() -> argparse.ArgumentParser:
             "artifact cache (prints the fleet key)"
         ),
     )
-    fprogram.add_argument(
-        "--cache-dir", type=str, required=True,
-        help="artifact cache directory the fleet is stored in",
-    )
-    fprogram.add_argument(
-        "--image-size", type=int, choices=(7, 14, 28), default=14
-    )
-    fprogram.add_argument("--n-train", type=int, default=300)
+    _add_programming_options(fprogram, image_size_default=14,
+                             sigma_default=0.15)
     fprogram.add_argument(
         "--tile-rows", type=int, default=49,
         help="rows per shard (the last shard may be smaller)",
-    )
-    fprogram.add_argument("--sigma", type=float, default=0.15)
-    fprogram.add_argument("--r-wire", type=float, default=0.0)
-    fprogram.add_argument("--seed", type=int, default=0)
-    fprogram.add_argument(
-        "--ir-mode",
-        choices=("ideal", "reference", "fixed_point", "nodal"),
-        default="ideal",
     )
     fprogram.add_argument("--n-probes", type=int, default=16)
 
@@ -255,33 +289,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fleet", type=str, required=True,
         help="fleet key printed by `repro fleet program`",
     )
-    fleet_io = fserve.add_mutually_exclusive_group(required=True)
-    fleet_io.add_argument(
-        "--stdin", action="store_true",
-        help="read one CSV feature vector per line, answer JSON lines",
-    )
-    fleet_io.add_argument(
-        "--port", type=int, default=None,
-        help="serve HTTP on this port (POST /predict, GET /stats)",
-    )
     fserve.add_argument(
         "--replicas", type=int, default=2,
         help="serving copies per shard",
     )
-    fserve.add_argument(
-        "--ir-mode",
-        choices=("ideal", "reference", "fixed_point", "nodal"),
-        default=None,
-        help="override the fleet's read model",
-    )
-    fserve.add_argument("--max-batch", type=int, default=32)
-    fserve.add_argument("--max-queue", type=int, default=128)
-    fserve.add_argument(
-        "--deadline-ms", type=float, default=None,
-        help="default per-request deadline in milliseconds",
-    )
-    fserve.add_argument("--drift-threshold", type=float, default=0.1)
-    fserve.add_argument("--check-every", type=int, default=5)
+    _add_serving_options(fserve)
 
     fstatus = fleet_sub.add_parser(
         "status",
@@ -325,6 +337,7 @@ def _run_report(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         use_cache=not args.no_cache,
+        backend=_resolve_cli_backend(args.backend) or "numpy",
     )
     log = RunLog()
     with use_runtime(runtime), use_run_log(log):
@@ -396,6 +409,7 @@ def _run_program(args: argparse.Namespace) -> int:
         redundancy=args.redundancy,
         seed=args.seed,
         ir_mode=args.ir_mode,
+        backend=args.backend,
     )
     cache = ArtifactCache(args.cache_dir)
     key = artifact_key(config)
@@ -418,6 +432,19 @@ def _run_program(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_backend(name: str | None) -> str | None:
+    """Fail fast (with the install hint) on an unavailable backend."""
+    if name is None:
+        return None
+    from repro.backend import BackendUnavailableError, get_namespace
+
+    try:
+        get_namespace(name)
+    except BackendUnavailableError as exc:
+        raise SystemExit(f"repro: backend {name!r} unavailable: {exc}")
+    return name
+
+
 def _build_service(args: argparse.Namespace):
     from repro.runtime.cache import ArtifactCache
     from repro.serve import CrossbarService, DriftPolicy, ProgrammedArray
@@ -437,6 +464,7 @@ def _build_service(args: argparse.Namespace):
         max_batch=args.max_batch,
         max_queue=args.max_queue,
         default_deadline_s=deadline,
+        backend=_resolve_cli_backend(args.backend),
     )
 
 
@@ -551,7 +579,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             return _serve_stdin(service)
         return _serve_http(service, args.port)
     finally:
-        service.shutdown()
+        service.close()
 
 
 def _run_fleet_program(args: argparse.Namespace) -> int:
@@ -582,6 +610,7 @@ def _run_fleet_program(args: argparse.Namespace) -> int:
         seed=args.seed,
         ir_mode=args.ir_mode,
         n_probes=args.n_probes,
+        backend=args.backend,
     )
     cache = ArtifactCache(args.cache_dir)
     key = fleet_key(config, outcome.weights)
@@ -627,6 +656,7 @@ def _build_fleet_service(args: argparse.Namespace, replicas: int):
         max_batch=getattr(args, "max_batch", 32),
         max_queue=getattr(args, "max_queue", 128),
         default_deadline_s=None if deadline is None else deadline / 1e3,
+        backend=_resolve_cli_backend(getattr(args, "backend", None)),
     )
 
 
@@ -644,7 +674,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
             return _serve_stdin(service)
         return _serve_http(service, args.port)
     finally:
-        service.shutdown()
+        service.close()
 
 
 def _run_cache(args: argparse.Namespace) -> int:

@@ -15,6 +15,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.circuits.adc import ADC
 from repro.circuits.sensing import CurrentSense
 from repro.config import (
@@ -207,6 +208,7 @@ def batched_hardware_test_rates(
     spec: HardwareSpec,
     scaler: WeightScaler,
     trial_block: int = 16,
+    backend: ArrayBackend | str | None = None,
 ) -> np.ndarray:
     """Test rates of a stack of programmed pairs, one hardware pass.
 
@@ -238,6 +240,9 @@ def batched_hardware_test_rates(
         scaler: Weight <-> conductance map of the pairs.
         trial_block: Trials evaluated per einsum call; purely a memory
             knob -- per-slice identity makes any value bit-identical.
+        backend: Array namespace for the ensemble math (default: the
+            bit-identical numpy reference path).  The returned rates
+            are always a numpy array.
 
     Returns:
         Per-trial test rates, shape ``(T,)``.
@@ -247,44 +252,47 @@ def batched_hardware_test_rates(
             "batched_hardware_test_rates only replicates the ideal read "
             f"path (ir_mode={spec.ir_mode!r}, r_wire={spec.crossbar.r_wire})"
         )
-    g_pos = np.asarray(g_pos, dtype=float)
-    g_neg = np.asarray(g_neg, dtype=float)
-    x = np.asarray(x, dtype=float)
-    labels = np.asarray(labels)
+    bk = resolve_backend(backend)
+    g_pos = bk.asarray(g_pos)
+    g_neg = bk.asarray(g_neg)
+    x = bk.asarray(x)
+    labels = bk.asarray(labels, dtype=None)
     n_trials = g_pos.shape[0]
     v_read = spec.crossbar.v_read
     adc = spec.diff_adc(spec.crossbar.rows)
     scale = v_read * scaler.device.g_range / scaler.w_max
     fs_floor = v_read * spec.device.g_off
 
-    rates = np.empty(n_trials)
+    blocks = []
     for start in range(0, n_trials, max(1, trial_block)):
         stop = min(start + max(1, trial_block), n_trials)
         gp, gn = g_pos[start:stop], g_neg[start:stop]
         xb = x if x.ndim == 2 else x[start:stop]
         i_diff = (
-            v_read * trial_stacked_matmul(xb, gp)
-            - v_read * trial_stacked_matmul(xb, gn)
+            v_read * trial_stacked_matmul(xb, gp, xp=bk)
+            - v_read * trial_stacked_matmul(xb, gn, xp=bk)
         )
         if adc is not None:
             # Per-trial sense auto-ranging, then the mid-rise bipolar
             # quantiser with each trial's full scale broadcast in.
             x_cal = xb[:256] if xb.ndim == 2 else xb[:, :256]
             i_cal = (
-                v_read * trial_stacked_matmul(x_cal, gp)
-                - v_read * trial_stacked_matmul(x_cal, gn)
+                v_read * trial_stacked_matmul(x_cal, gp, xp=bk)
+                - v_read * trial_stacked_matmul(x_cal, gn, xp=bk)
             )
-            peak = np.quantile(np.abs(i_cal), 0.999, axis=(1, 2))
-            fs = np.maximum(peak * 1.5, fs_floor)[:, None, None]
+            peak = bk.quantile(bk.abs(i_cal), 0.999, axis=(1, 2))
+            fs = bk.maximum(peak * 1.5, fs_floor)[:, None, None]
             levels = 2 ** adc.bits
             lo = -fs
             lsb = (2 * fs) / levels
-            codes = np.round((np.clip(i_diff, lo, fs) - lo) / lsb)
-            i_diff = lo + np.clip(codes, 0, levels - 1) * lsb
+            codes = bk.round((bk.clip(i_diff, lo, fs) - lo) / lsb)
+            i_diff = lo + bk.clip(codes, 0, levels - 1) * lsb
         scores = (i_diff - 0.0) / scale
-        preds = np.argmax(scores, axis=2)
-        rates[start:stop] = np.mean(preds == labels[None, :], axis=1)
-    return rates
+        preds = bk.argmax(scores, axis=2)
+        blocks.append(bk.mean(preds == labels[None, :], axis=1))
+    if not blocks:
+        return bk.to_numpy(bk.zeros(0))
+    return bk.to_numpy(bk.concatenate(blocks))
 
 
 def software_rates(

@@ -24,6 +24,7 @@ import concurrent.futures
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.runtime.telemetry import RunLog, current_run_log
 from repro.serve.artifact import ProgrammedArray
 from repro.serve.engine import InferenceEngine
@@ -62,6 +63,8 @@ class ShardReplica:
             :class:`~repro.serve.scheduler.BatchScheduler`).
         microbatch: Engine microbatch size.
         log: Telemetry sink shared with the rest of the fleet.
+        backend: Array namespace for the replica's reads (``None``
+            adopts the shard artifact's recorded default).
     """
 
     def __init__(
@@ -77,6 +80,7 @@ class ShardReplica:
         microbatch: int = 64,
         min_retry_after_s: float = 0.05,
         log: RunLog | None = None,
+        backend: ArrayBackend | str | None = None,
     ):
         self.artifact = artifact
         self.shard_index = int(shard_index)
@@ -87,7 +91,8 @@ class ShardReplica:
             ambient if ambient is not None else RunLog()
         )
         self.engine = InferenceEngine.from_artifact(
-            artifact, ir_mode=ir_mode, microbatch=microbatch
+            artifact, ir_mode=ir_mode, microbatch=microbatch,
+            backend=backend,
         )
         self.monitor = DriftMonitor(
             self.engine,

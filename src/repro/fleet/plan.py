@@ -61,6 +61,11 @@ class FleetConfig:
         ir_mode: Read-fidelity model every shard serves with.
         n_probes: Drift-monitor probe count (full-width probes; each
             shard keeps its row slice).
+        backend: Default array namespace the fleet is served with (see
+            :mod:`repro.backend`).  Programming always runs the
+            bit-identical numpy reference path; this field only records
+            the deployment intent ``fleet serve`` adopts when no
+            explicit ``--backend`` is given.
     """
 
     n_rows: int
@@ -71,6 +76,7 @@ class FleetConfig:
     seed: int = 0
     ir_mode: str = "ideal"
     n_probes: int = 16
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.n_rows < 1:

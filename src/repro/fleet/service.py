@@ -17,6 +17,7 @@ import concurrent.futures
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.fleet.engine import ShardReplica
 from repro.fleet.health import RollingReprogrammer
 from repro.fleet.plan import ProgrammedFleet
@@ -27,12 +28,15 @@ from repro.runtime.telemetry import (
     current_run_log,
 )
 from repro.serve.health import DriftPolicy
+from repro.serve.protocol import Service, ServiceLifecycle
 
-__all__ = ["FleetService"]
+__all__ = ["FleetService", "Service"]
 
 
-class FleetService:
+class FleetService(ServiceLifecycle):
     """Routed, replicated, drift-managed serving of a sharded layer.
+
+    Implements the :class:`~repro.serve.protocol.Service` protocol.
 
     Args:
         fleet: The programmed shard plan to serve.
@@ -49,6 +53,8 @@ class FleetService:
             :class:`~repro.fleet.health.RollingReprogrammer`).
         log: Telemetry sink; the ambient run log (or a private one)
             when omitted.
+        backend: Array namespace every replica reads with; ``None``
+            adopts the fleet plan's recorded serving default.
     """
 
     def __init__(
@@ -64,6 +70,7 @@ class FleetService:
         min_retry_after_s: float = 0.05,
         min_live: int = 1,
         log: RunLog | None = None,
+        backend: ArrayBackend | str | None = None,
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
@@ -74,6 +81,9 @@ class FleetService:
         self.log = log if log is not None else (
             ambient if ambient is not None else RunLog()
         )
+        if backend is None:
+            backend = getattr(fleet.config, "backend", None)
+        self.backend = backend
         self.groups = [
             ShardGroup(
                 i,
@@ -90,6 +100,7 @@ class FleetService:
                         microbatch=microbatch,
                         min_retry_after_s=min_retry_after_s,
                         log=self.log,
+                        backend=backend,
                     )
                     for r in range(self.replicas)
                 ],
@@ -163,10 +174,14 @@ class FleetService:
                 "live": len(group.live_replicas),
                 "replicas": lanes,
             })
+        first = self.groups[0].replicas[0] if self.groups else None
         return {
             "n_shards": self.fleet.n_shards,
             "replicas_per_shard": self.replicas,
             "ir_mode": self.fleet.config.ir_mode,
+            "backend": (
+                first.engine.backend_name if first is not None else "numpy"
+            ),
             "shards": shards,
         }
 
@@ -178,15 +193,9 @@ class FleetService:
             summary["lanes"] = labels
         return summary
 
-    # -- lifecycle -----------------------------------------------------
-    def shutdown(self, timeout: float | None = None) -> None:
+    # -- lifecycle (close/shutdown/context from ServiceLifecycle) ------
+    def drain(self, timeout: float | None = None) -> None:
         """Drain every replica of every shard."""
         for group in self.groups:
             for replica in group.replicas:
                 replica.shutdown(timeout)
-
-    def __enter__(self) -> "FleetService":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown()

@@ -1,9 +1,9 @@
 """Per-file AST analysis implementing the REP rule set.
 
 One :class:`FileChecker` walk produces (a) direct violations of
-REP001/REP002/REP004/REP005 and (b) the raw material of the cross-file
-REP003 pass: every dataclass definition and every expression observed
-flowing into a cache-key position.  The cross-file resolution itself
+REP001/REP002/REP004/REP005/REP006 and (b) the raw material of the
+cross-file REP003 pass: every dataclass definition and every expression
+observed flowing into a cache-key position.  The cross-file resolution itself
 lives in :mod:`repro.lint.cachekeys`.
 
 The checker is deliberately conservative: it only reports what it can
@@ -83,6 +83,28 @@ _UNSTABLE_FIELD_TYPES = frozenset(
 
 _MUTABLE_BUILTIN_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 
+# Array ops a backend-aware kernel must route through its namespace
+# object (REP006).  ``asarray``/``nonzero`` are deliberately absent:
+# converting at the host boundary (and host-side index extraction) is
+# the porting contract, not a violation.
+_BACKEND_PORTED_OPS = frozenset(
+    {
+        "einsum", "stack", "concatenate", "clip", "where", "exp",
+        "log", "sqrt", "abs", "sign", "round", "maximum", "minimum",
+        "quantile", "argmax", "argsort", "mean", "sum", "prod",
+        "cumsum", "zeros", "ones", "full", "empty", "take",
+        "atleast_2d", "reshape", "transpose", "matmul", "dot",
+        "tensordot",
+    }
+)
+
+# Parameter names that mark a function as backend-aware.
+_BACKEND_PARAM_NAMES = frozenset({"xp", "backend"})
+
+# The backend package is the reference implementation: it *is* the
+# numpy delegation layer, so REP006 does not apply inside it.
+_REP006_EXEMPT_FRAGMENT = "repro/backend/"
+
 
 @dataclasses.dataclass(frozen=True)
 class DataclassInfo:
@@ -161,6 +183,9 @@ class _Scope:
         # name -> tag: "lambda", "nested_func", "bad_partial",
         #              or a dataclass-ish class name (from `x = Cls(...)`)
         self.bindings: dict[str, str] = {}
+        # Function scopes only: declares an xp/backend parameter, so
+        # REP006 holds its array ops to the namespace object.
+        self.backend_aware = False
 
 
 class FileChecker(ast.NodeVisitor):
@@ -180,6 +205,9 @@ class FileChecker(ast.NodeVisitor):
         self._randomstate_names: set[str] = set()
         self._partial_names: set[str] = set()
         self._functools_names: set[str] = set()
+        self._rep006_exempt = (
+            _REP006_EXEMPT_FRAGMENT in path.replace("\\", "/")
+        )
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -449,6 +477,32 @@ class FileChecker(ast.NodeVisitor):
                     "default to None and create inside the function",
                 )
 
+    # -- REP006 --------------------------------------------------------
+    def _check_rep006(self, node: ast.Call) -> None:
+        if self._rep006_exempt:
+            return
+        scope = next(
+            (s for s in reversed(self.scopes) if s.kind == "function"),
+            None,
+        )
+        if scope is None or not scope.backend_aware:
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BACKEND_PORTED_OPS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._numpy_names
+        ):
+            self._report(
+                node,
+                "REP006",
+                f"np.{func.attr}() inside a backend-aware kernel; this "
+                "function takes an xp/backend parameter, so its array "
+                "ops must go through the namespace object (bk."
+                f"{func.attr}) to run identically under every backend",
+            )
+
     # -- REP005 --------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
@@ -546,6 +600,9 @@ class FileChecker(ast.NodeVisitor):
         all_args = (
             list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
         )
+        scope.backend_aware = any(
+            arg.arg in _BACKEND_PARAM_NAMES for arg in all_args
+        )
         for arg in all_args:
             if arg.annotation is not None:
                 for root in _annotation_roots(arg.annotation):
@@ -596,6 +653,7 @@ class FileChecker(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_rep001(node)
         self._check_rep002(node)
+        self._check_rep006(node)
         self._check_cache_key_flow(node)
         self.generic_visit(node)
 

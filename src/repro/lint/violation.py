@@ -2,8 +2,10 @@
 
 Each rule guards one of the contracts the runtime engine made
 load-bearing (see ``docs/determinism.md``): seed discipline (REP001),
-process-pool picklability (REP002), cache-key stability (REP003), and
-two general determinism/robustness hygiene rules (REP004, REP005).
+process-pool picklability (REP002), cache-key stability (REP003), two
+general determinism/robustness hygiene rules (REP004, REP005), and
+backend-namespace discipline in ported kernels (REP006, see
+``docs/backends.md``).
 """
 
 from __future__ import annotations
@@ -31,6 +33,12 @@ RULES: dict[str, str] = {
     ),
     "REP004": "mutable default argument",
     "REP005": "bare except or silently swallowed exception",
+    "REP006": (
+        "direct numpy call in a backend-aware kernel: functions taking "
+        "an xp/backend parameter must route array ops through the "
+        "namespace object (asarray/nonzero conversion boundaries "
+        "excepted)"
+    ),
 }
 
 ALL_CODES = frozenset(RULES)

@@ -41,12 +41,19 @@ class RuntimeConfig:
             ``--no-cache``).
         chunk_size: Trials per worker task; ``None`` picks a size that
             gives each worker a few chunks for load balancing.
+        backend: Array namespace for backend-aware batched kernels
+            (``"numpy"`` or ``"torch"``; see :mod:`repro.backend`).
+            Kernels that have not opted into backend execution keep
+            running the numpy reference path, so flipping this switch
+            can accelerate but never break an experiment.  Availability
+            is checked lazily at the first backend-aware call.
     """
 
     jobs: int = 1
     cache_dir: str | Path | None = None
     use_cache: bool = True
     chunk_size: int | None = None
+    backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.jobs < 0:

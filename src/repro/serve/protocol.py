@@ -1,0 +1,95 @@
+"""The shared service surface of the serving stack.
+
+:class:`~repro.serve.service.CrossbarService` (one programmed array)
+and :class:`~repro.fleet.service.FleetService` (a sharded, replicated
+fleet) expose the same contract, captured here as the runtime-checkable
+:class:`Service` protocol.  The CLI's stdin/HTTP front-ends, the
+benchmarks and the tests are written against this surface alone, so
+they never branch on the concrete service type.
+
+The lifecycle verbs are:
+
+* ``drain(timeout)`` -- stop accepting new queries and answer
+  everything already queued.
+* ``close(timeout)`` -- full release of the service (drains first);
+  also what ``with service:`` runs on exit.
+* ``shutdown(timeout)`` -- deprecated alias of :meth:`close`, kept for
+  pre-protocol callers.
+
+:class:`ServiceLifecycle` supplies ``close``/``shutdown``/context
+management on top of a concrete ``drain``, so both services implement
+the lifecycle once.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import warnings
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = ["Service", "ServiceLifecycle"]
+
+
+@runtime_checkable
+class Service(Protocol):
+    """What every serving facade exposes, single-array or fleet."""
+
+    def submit(
+        self, x: np.ndarray, deadline_s: float | None = None
+    ) -> concurrent.futures.Future:
+        """Enqueue one query; the future resolves to its scores."""
+        ...
+
+    def predict(
+        self,
+        x: np.ndarray,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Synchronous single-query scores."""
+        ...
+
+    def status(self) -> dict:
+        """Deterministic inventory of the serving hardware."""
+        ...
+
+    def stats(self) -> dict:
+        """Serving telemetry summary (latency, drops, health events)."""
+        ...
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop intake, answer everything already queued."""
+        ...
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain and release the service."""
+        ...
+
+
+class ServiceLifecycle:
+    """Mixin: ``close``/``shutdown``/``with`` on top of ``drain``."""
+
+    def drain(self, timeout: float | None = None) -> None:
+        raise NotImplementedError
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain and release the service (idempotent)."""
+        self.drain(timeout)
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Deprecated alias of :meth:`close`."""
+        warnings.warn(
+            f"{type(self).__name__}.shutdown() is deprecated; "
+            "use close() (or drain() to stop intake only)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.close(timeout)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend
 from repro.core.amp import run_amp
 from repro.core.old import program_pair_open_loop
 from repro.core.pretest import pretest_pair
@@ -27,13 +28,16 @@ from repro.seeding import ensure_rng
 from repro.serve.artifact import ProgrammedArray
 from repro.serve.engine import InferenceEngine
 from repro.serve.health import DriftMonitor, DriftPolicy
+from repro.serve.protocol import Service, ServiceLifecycle
 from repro.serve.scheduler import BatchScheduler
 
-__all__ = ["CrossbarService"]
+__all__ = ["CrossbarService", "Service"]
 
 
-class CrossbarService:
+class CrossbarService(ServiceLifecycle):
     """In-process inference service over one programmed crossbar.
+
+    Implements the :class:`~repro.serve.protocol.Service` protocol.
 
     Args:
         artifact: Deployment snapshot to serve.
@@ -48,6 +52,9 @@ class CrossbarService:
             the artifact's recorded seed when omitted (so a service
             restarted from the same artifact repairs identically).
         log: Telemetry sink shared by scheduler and monitor.
+        backend: Array namespace for the hardware reads; ``None``
+            adopts the artifact's recorded serving default (see
+            :class:`~repro.serve.engine.InferenceEngine`).
     """
 
     def __init__(
@@ -61,6 +68,7 @@ class CrossbarService:
         microbatch: int = 64,
         rng: np.random.Generator | None = None,
         log: RunLog | None = None,
+        backend: ArrayBackend | str | None = None,
     ):
         self.artifact = artifact
         if rng is None:
@@ -74,11 +82,14 @@ class CrossbarService:
         )
         self.pair = artifact.build_pair()
         self.policy = policy if policy is not None else DriftPolicy()
+        if backend is None:
+            backend = artifact.metadata.get("backend")
         self.engine = InferenceEngine(
             self.pair,
             mapping=artifact.mapping,
             ir_mode=ir_mode if ir_mode is not None else artifact.ir_mode,
             microbatch=microbatch,
+            backend=backend,
         )
         self.monitor = DriftMonitor(
             self.engine,
@@ -115,14 +126,25 @@ class CrossbarService:
         """Serving telemetry summary (latency, drops, drift events)."""
         return self.log.serve_summary()
 
-    def shutdown(self, timeout: float | None = None) -> None:
+    def status(self) -> dict:
+        """Deterministic inventory of the served hardware.
+
+        The discrepancy comes from a probe replay, so a status call
+        costs one hardware read.
+        """
+        return {
+            "scheme": self.artifact.scheme,
+            "ir_mode": self.engine.ir_mode,
+            "backend": self.engine.backend_name,
+            "n_features": self.engine.n_features,
+            "depth": self.scheduler.depth,
+            "discrepancy": round(self.monitor.discrepancy(), 6),
+        }
+
+    # -- lifecycle (close/shutdown/context from ServiceLifecycle) ------
+    def drain(self, timeout: float | None = None) -> None:
+        """Stop intake, answer everything already queued."""
         self.scheduler.shutdown(timeout)
-
-    def __enter__(self) -> "CrossbarService":
-        return self
-
-    def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown()
 
     # -- repair path ---------------------------------------------------
     def remap(self) -> dict:

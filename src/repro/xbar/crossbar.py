@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.circuits.sensing import CurrentSense
 from repro.config import CrossbarConfig, DeviceConfig, VariationConfig
 from repro.devices.memristor import MemristorArray
@@ -30,7 +31,7 @@ __all__ = [
 IR_MODES = ("ideal", "reference", "fixed_point", "nodal")
 
 
-def batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+def batch_invariant_matmul(x, g, xp: ArrayBackend | str | None = None):
     """``x @ g`` with per-row results independent of the batch size.
 
     BLAS picks different kernels and blocking for different operand
@@ -40,17 +41,21 @@ def batch_invariant_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
     reads) needs a fixed accumulation order; einsum's non-BLAS loop
     provides one at a cost that is negligible next to any IR-aware
     solve.
+
+    ``xp`` selects the array namespace (default: the bit-identical
+    numpy reference path; see :mod:`repro.backend`).
     """
+    bk = resolve_backend(xp)
     if x.ndim == 1:
-        return np.einsum("n,nm->m", x, g)
-    return np.einsum("sn,nm->sm", x, g)
+        return bk.einsum("n,nm->m", x, g)
+    return bk.einsum("sn,nm->sm", x, g)
 
 
 # Retained private alias for pre-existing in-module call sites.
 _batch_invariant_matmul = batch_invariant_matmul
 
 
-def trial_stacked_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
+def trial_stacked_matmul(x, g, xp: ArrayBackend | str | None = None):
     """Fixed-accumulation matmul over a stack of trial conductances.
 
     The Monte-Carlo counterpart of :func:`batch_invariant_matmul`:
@@ -62,15 +67,19 @@ def trial_stacked_matmul(x: np.ndarray, g: np.ndarray) -> np.ndarray:
     *bit-for-bit*: einsum reduces over ``n`` in the same fixed order
     for every trial slice, so batching draws cannot perturb a single
     draw's result.
+
+    ``xp`` selects the array namespace (default: the bit-identical
+    numpy reference path; see :mod:`repro.backend`).
     """
+    bk = resolve_backend(xp)
     if g.ndim != 3:
         raise ValueError(
             f"g must be a (T, n, m) trial stack, got shape {g.shape}"
         )
     if x.ndim == 2:
-        return np.einsum("sn,tnm->tsm", x, g)
+        return bk.einsum("sn,tnm->tsm", x, g)
     if x.ndim == 3:
-        return np.einsum("tsn,tnm->tsm", x, g)
+        return bk.einsum("tsn,tnm->tsm", x, g)
     raise ValueError(
         f"x must be (s, n) or a (T, s, n) trial stack, got shape {x.shape}"
     )
@@ -202,37 +211,51 @@ class Crossbar:
             self._network_version = version
         return self._network
 
-    def read(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
+    def read(
+        self,
+        x: np.ndarray,
+        ir_mode: str = "ideal",
+        backend: ArrayBackend | str | None = None,
+    ) -> np.ndarray:
         """Sensed bit-line currents for input(s) ``x`` in [0, 1].
 
         Args:
             x: Input features, shape ``(rows,)`` or batch ``(s, rows)``.
             ir_mode: One of :data:`IR_MODES`.
+            backend: Array namespace for the linear read math (default:
+                the bit-identical numpy reference path).  The ideal and
+                reference models run natively on the backend; the
+                wire-solver models (``fixed_point``, ``nodal``) and the
+                sensing chain are sparse/host-side code and round-trip
+                through numpy, with the result converted back.
 
         Returns:
             Currents in Ampere, shape ``(cols,)`` or ``(s, cols)``.
         """
         if ir_mode not in IR_MODES:
             raise ValueError(f"ir_mode must be one of {IR_MODES}, got {ir_mode!r}")
-        x = np.asarray(x, dtype=float)
+        bk = resolve_backend(backend)
+        x = bk.asarray(x)
         g = self.conductance
         v_read = self.config.v_read
         if ir_mode == "ideal" or self.config.r_wire == 0:
-            currents = v_read * _batch_invariant_matmul(x, g)
+            currents = v_read * _batch_invariant_matmul(x, bk.asarray(g), xp=bk)
         elif ir_mode == "reference":
             currents = (
                 v_read
-                * _batch_invariant_matmul(x, g)
-                * self._get_reference_factors()
+                * _batch_invariant_matmul(x, bk.asarray(g), xp=bk)
+                * bk.asarray(self._get_reference_factors())
             )
         elif ir_mode == "fixed_point":
-            currents = read_output_currents(
-                g, x, self.config.r_wire, v_read
-            )
+            currents = bk.asarray(read_output_currents(
+                g, bk.to_numpy(x), self.config.r_wire, v_read
+            ))
         else:  # nodal
-            currents = self._get_network().read_batch(x, v_read)
+            currents = bk.asarray(
+                self._get_network().read_batch(bk.to_numpy(x), v_read)
+            )
         if self.sense is not None:
-            currents = self.sense.sense(currents)
+            currents = bk.asarray(self.sense.sense(bk.to_numpy(currents)))
         return currents
 
     def read_single_cell(

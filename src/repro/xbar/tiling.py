@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import ArrayBackend, resolve_backend
 from repro.circuits.adc import ADC
 from repro.circuits.sensing import CurrentSense
 from repro.config import CrossbarConfig, DeviceConfig, VariationConfig
@@ -143,7 +144,10 @@ class TiledPair:
             tile.program_weights(w_tile, with_cycle_noise)
 
     def partial_matvec(
-        self, x: np.ndarray, ir_mode: str = "ideal"
+        self,
+        x: np.ndarray,
+        ir_mode: str = "ideal",
+        backend: ArrayBackend | str | None = None,
     ) -> list[np.ndarray]:
         """Per-tile weight-domain partial outputs, in tile order.
 
@@ -152,16 +156,20 @@ class TiledPair:
         the left-to-right sum of this list.  The fleet layer reads
         shards remotely and reduces the gathered partials in the same
         order, so a scatter-gather read reproduces a local tiled read
-        bit-for-bit.
+        bit-for-bit.  ``backend`` selects the array namespace (default:
+        the bit-identical numpy reference path).
         """
-        x = np.asarray(x, dtype=float)
+        bk = resolve_backend(backend)
+        x = bk.asarray(x)
         if x.shape[-1] != self.n_rows:
             raise ValueError(
                 f"input width {x.shape[-1]} != layer rows {self.n_rows}"
             )
         return [
-            tile.matvec(x_tile, ir_mode)
-            for tile, x_tile in zip(self.tiles, self._split(x, axis=-1))
+            tile.matvec(
+                bk.take_range(x, start, stop, axis=-1), ir_mode, backend=bk
+            )
+            for tile, (start, stop) in zip(self.tiles, self.ranges)
         ]
 
     @staticmethod
@@ -180,7 +188,12 @@ class TiledPair:
             total = total + part
         return total
 
-    def matvec(self, x: np.ndarray, ir_mode: str = "ideal") -> np.ndarray:
+    def matvec(
+        self,
+        x: np.ndarray,
+        ir_mode: str = "ideal",
+        backend: ArrayBackend | str | None = None,
+    ) -> np.ndarray:
         """Digitally summed tile outputs ``~ x @ W`` (normalised).
 
         Accepts a single query ``(n_rows,)`` or a batch
@@ -189,7 +202,9 @@ class TiledPair:
         solve per tile under ``'nodal'``) and is bit-identical to
         looping the single-query path over the batch rows.
         """
-        return self.reduce_partials(self.partial_matvec(x, ir_mode))
+        return self.reduce_partials(
+            self.partial_matvec(x, ir_mode, backend=backend)
+        )
 
     def effective_weights(self) -> np.ndarray:
         """Realised (normalised) weights concatenated across tiles."""

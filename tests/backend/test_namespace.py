@@ -1,0 +1,153 @@
+"""Registry, resolution and RNG-bridge contracts of repro.backend."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    available_backends,
+    get_namespace,
+    resolve_backend,
+    to_numpy,
+)
+from repro.backend.core import NumpyBackend
+
+
+class TestRegistry:
+    def test_numpy_is_always_available_and_first(self):
+        assert available_backends()[0] == "numpy"
+
+    def test_get_namespace_is_a_singleton_per_name(self):
+        assert get_namespace("numpy") is get_namespace("numpy")
+
+    def test_unknown_name_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown array backend"):
+            get_namespace("cupy")
+
+    def test_torch_gated_not_silently_broken(self):
+        # Whichever way the container is built, "torch" must either
+        # construct or fail with the dedicated gating error -- never
+        # with a raw ImportError.
+        try:
+            bk = get_namespace("torch")
+        except BackendUnavailableError:
+            assert "torch" not in available_backends()
+        else:
+            assert bk.name == "torch"
+            assert not bk.is_reference
+            assert "torch" in available_backends()
+
+    def test_numpy_backend_is_the_reference(self):
+        bk = get_namespace("numpy")
+        assert bk.is_reference
+        assert isinstance(bk, NumpyBackend)
+
+
+class TestResolve:
+    def test_none_resolves_to_numpy(self):
+        assert resolve_backend(None) is get_namespace("numpy")
+
+    def test_string_resolves_through_registry(self):
+        assert resolve_backend("numpy") is get_namespace("numpy")
+
+    def test_instance_passes_through(self):
+        bk = get_namespace("numpy")
+        assert resolve_backend(bk) is bk
+
+    def test_other_types_raise(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestPickling:
+    def test_backend_round_trips_to_the_singleton(self):
+        # Backends ride into process-pool workers; pickling goes by
+        # name so the worker reuses its own singleton.
+        bk = get_namespace("numpy")
+        assert pickle.loads(pickle.dumps(bk)) is bk
+
+
+class TestConversion:
+    def test_asarray_defaults_to_float(self):
+        out = get_namespace("numpy").asarray([1, 2, 3])
+        assert out.dtype == np.float64
+
+    def test_asarray_dtype_none_preserves_integers(self):
+        out = get_namespace("numpy").asarray(
+            np.array([1, 2], dtype=np.int64), dtype=None
+        )
+        assert out.dtype == np.int64
+
+    def test_to_numpy_module_function_handles_plain_data(self):
+        assert to_numpy([1.0, 2.0]).tolist() == [1.0, 2.0]
+        arr = np.arange(3)
+        assert to_numpy(arr) is arr
+
+    def test_take_range_matches_slicing(self):
+        bk = get_namespace("numpy")
+        x = np.arange(24.0).reshape(4, 6)
+        np.testing.assert_array_equal(
+            bk.take_range(x, 1, 4, axis=-1), x[:, 1:4]
+        )
+        np.testing.assert_array_equal(
+            bk.take_range(x, 0, 2, axis=0), x[:2]
+        )
+
+
+class TestRngBridge:
+    """Draws always come from the numpy Generator stream."""
+
+    def test_standard_normal_matches_numpy_stream(self):
+        bk = get_namespace("numpy")
+        got = bk.standard_normal(np.random.default_rng(3), (4, 2))
+        want = np.random.default_rng(3).standard_normal((4, 2))
+        np.testing.assert_array_equal(to_numpy(got), want)
+
+    def test_uniform_matches_numpy_stream(self):
+        bk = get_namespace("numpy")
+        got = bk.uniform(np.random.default_rng(5), -1.0, 2.0, (3,))
+        want = np.random.default_rng(5).uniform(-1.0, 2.0, size=(3,))
+        np.testing.assert_array_equal(to_numpy(got), want)
+
+    def test_lognormal_is_exp_of_numpy_normal(self):
+        bk = get_namespace("numpy")
+        got = bk.lognormal(np.random.default_rng(7), 0.4, (5,))
+        want = np.exp(np.random.default_rng(7).normal(0.0, 0.4, size=(5,)))
+        np.testing.assert_array_equal(to_numpy(got), want)
+
+
+class TestReferenceOpsAreNumpy:
+    """The reference path is function-identical to plain numpy."""
+
+    def test_ops_delegate_to_the_exact_numpy_functions(self):
+        bk = get_namespace("numpy")
+        x = np.random.default_rng(0).random((3, 4))
+        g = np.random.default_rng(1).random((4, 5))
+        np.testing.assert_array_equal(
+            bk.einsum("sr,rc->sc", x, g), np.einsum("sr,rc->sc", x, g)
+        )
+        np.testing.assert_array_equal(
+            bk.quantile(np.abs(x), 0.999, axis=(0, 1)),
+            np.quantile(np.abs(x), 0.999, axis=(0, 1)),
+        )
+        np.testing.assert_array_equal(
+            bk.clip(x, 0.2, 0.8), np.clip(x, 0.2, 0.8)
+        )
+        np.testing.assert_array_equal(bk.round(x * 10), np.round(x * 10))
+
+    def test_custom_backend_subclass_registers(self):
+        class Fake(ArrayBackend):
+            name = "fake-units"
+
+            def asarray(self, x, dtype=float):
+                return np.asarray(x, dtype=dtype)
+
+            def to_numpy(self, x):
+                return np.asarray(x)
+
+        fake = Fake()
+        assert not fake.is_reference
+        assert resolve_backend(fake) is fake

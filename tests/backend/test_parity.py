@@ -1,0 +1,257 @@
+"""Backend parity: every ported kernel agrees across namespaces.
+
+The numpy path is the bit-identical reference (pinned separately in
+``test_golden.py``); alternate backends are held to the documented
+parity contract of ``docs/backends.md``: linear read paths agree to
+floating-point accumulation noise, ADC-quantised paths agree up to
+code-boundary flips.  All cases run under numpy too (where they must
+be exact), and skip cleanly for backends the container lacks.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.analysis.lognormal import (
+    stacked_cycle_multipliers,
+    stacked_standard_thetas,
+)
+from repro.backend import (
+    ArrayBackend,
+    available_backends,
+    get_namespace,
+    register_backend,
+    to_numpy,
+)
+from repro.backend.core import _INSTANCES, _REGISTRY
+from repro.config import CrossbarConfig, VariationConfig
+from repro.core.base import (
+    HardwareSpec,
+    batched_hardware_test_rates,
+    build_pair,
+)
+from repro.experiments.fig2_column import (
+    ColumnTrialConfig,
+    _column_trial_batch,
+)
+from repro.runtime import RuntimeConfig, use_runtime
+from repro.runtime.executor import map_trials_batched, trial_rng
+from repro.xbar.mapping import WeightScaler
+from repro.xbar.tiling import TiledPair
+
+BACKENDS = ("numpy", "torch")
+
+# Linear paths: same float64 math, different BLAS accumulation order.
+LINEAR_RTOL = 1e-7
+LINEAR_ATOL = 1e-12
+
+
+@pytest.fixture(params=BACKENDS)
+def bk(request):
+    if request.param not in available_backends():
+        pytest.skip(f"backend {request.param!r} unavailable here")
+    return get_namespace(request.param)
+
+
+def _programmed_pair():
+    spec = HardwareSpec(
+        variation=VariationConfig(sigma=0.4),
+        crossbar=CrossbarConfig(rows=24, cols=6, r_wire=0.0),
+        ir_mode="ideal",
+    )
+    scaler = WeightScaler(1.0, spec.device)
+    pair = build_pair(spec, scaler, np.random.default_rng(11))
+    rng = np.random.default_rng(20260808)
+    pair.program_weights(rng.normal(0.0, 0.4, size=(24, 6)))
+    x = rng.random((9, 24))
+    pair.calibrate_sense(x)
+    return spec, scaler, pair, x
+
+
+class TestForwardReads:
+    def test_pair_matvec_ideal(self, bk):
+        _, _, pair, x = _programmed_pair()
+        want = pair.matvec(x, "ideal")
+        got = to_numpy(pair.matvec(x, "ideal", backend=bk))
+        if bk.is_reference:
+            np.testing.assert_array_equal(got, want)
+        else:
+            np.testing.assert_allclose(
+                got, want, rtol=LINEAR_RTOL, atol=LINEAR_ATOL
+            )
+
+    def test_pair_matvec_reference_mode(self, bk):
+        _, _, pair, x = _programmed_pair()
+        pair.set_reference_input(x.mean(axis=0))
+        want = pair.matvec(x, "reference")
+        got = to_numpy(pair.matvec(x, "reference", backend=bk))
+        if bk.is_reference:
+            np.testing.assert_array_equal(got, want)
+        else:
+            np.testing.assert_allclose(
+                got, want, rtol=LINEAR_RTOL, atol=LINEAR_ATOL
+            )
+
+    def test_tiled_partial_reductions(self, bk):
+        scaler = WeightScaler(1.0)
+        tiled = TiledPair(
+            scaler, n_rows=30, cols=5, tile_rows=8,
+            variation=VariationConfig(sigma=0.3),
+            rng=np.random.default_rng(5),
+        )
+        rng = np.random.default_rng(17)
+        tiled.program_weights(rng.normal(0.0, 0.3, size=(30, 5)))
+        x = rng.random((7, 30))
+        want_partials = tiled.partial_matvec(x, "ideal")
+        got_partials = tiled.partial_matvec(x, "ideal", backend=bk)
+        assert len(got_partials) == len(want_partials)
+        for got, want in zip(got_partials, want_partials):
+            if bk.is_reference:
+                np.testing.assert_array_equal(to_numpy(got), want)
+            else:
+                np.testing.assert_allclose(
+                    to_numpy(got), want,
+                    rtol=LINEAR_RTOL, atol=LINEAR_ATOL,
+                )
+        np.testing.assert_allclose(
+            to_numpy(tiled.matvec(x, "ideal", backend=bk)),
+            tiled.matvec(x, "ideal"),
+            rtol=LINEAR_RTOL, atol=LINEAR_ATOL,
+        )
+
+
+class TestStackedDraws:
+    """Draws come from numpy under every backend: exact equality."""
+
+    def test_stacked_standard_thetas(self, bk):
+        rngs = [trial_rng(777, i) for i in range(4)]
+        want = stacked_standard_thetas(rngs, "lognormal", (6, 3))
+        rngs = [trial_rng(777, i) for i in range(4)]
+        got = stacked_standard_thetas(rngs, "lognormal", (6, 3), xp=bk)
+        np.testing.assert_array_equal(to_numpy(got), want)
+
+    def test_stacked_cycle_multipliers(self, bk):
+        rngs = [trial_rng(13, i) for i in range(3)]
+        want = stacked_cycle_multipliers(rngs, 0.2, (5, 2))
+        rngs = [trial_rng(13, i) for i in range(3)]
+        got = stacked_cycle_multipliers(rngs, 0.2, (5, 2), xp=bk)
+        if bk.is_reference:
+            np.testing.assert_array_equal(to_numpy(got), want)
+        else:
+            # exp() runs on the backend.
+            np.testing.assert_allclose(
+                to_numpy(got), want, rtol=LINEAR_RTOL, atol=0.0
+            )
+
+    def test_sigma_zero_shortcuts(self, bk):
+        rngs = [trial_rng(1, i) for i in range(2)]
+        ones = stacked_cycle_multipliers(rngs, 0.0, (3,), xp=bk)
+        np.testing.assert_array_equal(to_numpy(ones), np.ones((2, 3)))
+
+
+class TestBatchedRates:
+    def test_rates_agree_up_to_adc_code_flips(self, bk):
+        spec, scaler, _, _ = _programmed_pair()
+        rng = np.random.default_rng(42)
+        T, S = 6, 64
+        g_lo, g_hi = spec.device.g_off, spec.device.g_on
+        g_pos = rng.uniform(g_lo, g_hi, size=(T, 24, 6))
+        g_neg = rng.uniform(g_lo, g_hi, size=(T, 24, 6))
+        x = rng.random((S, 24))
+        labels = rng.integers(0, 6, size=S)
+        want = batched_hardware_test_rates(
+            g_pos, g_neg, x, labels, spec, scaler, trial_block=4
+        )
+        got = batched_hardware_test_rates(
+            g_pos, g_neg, x, labels, spec, scaler, trial_block=4,
+            backend=bk,
+        )
+        assert isinstance(got, np.ndarray)
+        if bk.is_reference:
+            np.testing.assert_array_equal(got, want)
+        else:
+            # The read chain quantises through an ADC, so a sample
+            # sitting exactly on a code boundary may flip its argmax
+            # under a different accumulation order.  Allow at most two
+            # flipped predictions per trial out of S samples.
+            assert np.max(np.abs(got - want)) <= 2.0 / S + 1e-12
+
+
+class TestMonteCarloKernel:
+    def test_column_trial_batch_parity(self, bk):
+        cfg = ColumnTrialConfig(
+            sigma=0.5, n_devices=40, target_current=1e-3, v_read=1.0,
+            adc_bits=6, cld_iterations=30,
+        )
+        kernel = functools.partial(_column_trial_batch, cfg=cfg)
+        want = map_trials_batched(kernel, trials=12, seed=99, jobs=1)
+        got = map_trials_batched(
+            kernel, trials=12, seed=99, jobs=1, backend=bk
+        )
+        if bk.is_reference:
+            np.testing.assert_array_equal(got, want)
+            return
+        # OLD column: one open-loop shot, no feedback -- accumulation
+        # noise only.
+        np.testing.assert_allclose(
+            got[:, 0], want[:, 0], rtol=1e-6, atol=1e-12
+        )
+        # CLD column: the ADC-quantised feedback loop can exit an
+        # iteration earlier/later when a sensed current lands on a
+        # code boundary, shifting the final error by a few LSBs.
+        np.testing.assert_allclose(got[:, 1], want[:, 1], atol=0.15)
+
+
+def _plain_batch(rngs):
+    return np.zeros((len(rngs), 1))
+
+
+def _aware_batch(rngs, backend=None):
+    flag = 0.0
+    if backend is not None and not backend.is_reference:
+        flag = 1.0
+    return np.full((len(rngs), 1), flag)
+
+
+class _InertBackend(ArrayBackend):
+    """Registerable non-reference backend with no array library."""
+
+    name = "inert-test"
+
+    def asarray(self, x, dtype=float):
+        return np.asarray(x, dtype=dtype)
+
+    def to_numpy(self, x):
+        return np.asarray(x)
+
+
+class TestKernelOptIn:
+    """Unported kernels stay safe under a non-reference backend."""
+
+    @pytest.fixture()
+    def inert(self):
+        register_backend("inert-test", _InertBackend)
+        try:
+            yield get_namespace("inert-test")
+        finally:
+            _REGISTRY.pop("inert-test", None)
+            _INSTANCES.pop("inert-test", None)
+
+    def test_explicit_backend_on_unported_kernel_raises(self, inert):
+        with pytest.raises(TypeError, match="backend"):
+            map_trials_batched(
+                _plain_batch, trials=2, seed=0, jobs=1, backend=inert
+            )
+
+    def test_ambient_backend_falls_back_to_reference(self, inert):
+        with use_runtime(RuntimeConfig(backend="inert-test")):
+            out = map_trials_batched(_plain_batch, trials=2, seed=0,
+                                     jobs=1)
+        np.testing.assert_array_equal(out, np.zeros((2, 1)))
+
+    def test_ambient_backend_reaches_opted_in_kernels(self, inert):
+        with use_runtime(RuntimeConfig(backend="inert-test")):
+            out = map_trials_batched(_aware_batch, trials=2, seed=0,
+                                     jobs=1)
+        np.testing.assert_array_equal(out, np.ones((2, 1)))

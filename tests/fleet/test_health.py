@@ -70,7 +70,7 @@ class TestRollingReprogram:
             assert victim.monitor.discrepancy() == 0.0
             assert service.stats()["dropped"] == 0
         finally:
-            service.shutdown()
+            service.close()
 
     def test_healthy_fleet_has_nothing_to_recover(self):
         _, service = make_service()
@@ -78,7 +78,7 @@ class TestRollingReprogram:
             assert service.run_recovery_cycle() == []
             assert service.log.fleet_events == []
         finally:
-            service.shutdown()
+            service.close()
 
     def test_recovery_defers_below_quorum(self):
         _, service = make_service(replicas=1)
@@ -92,7 +92,7 @@ class TestRollingReprogram:
             assert victim.live
             assert victim.monitor.discrepancy() > 0.05
         finally:
-            service.shutdown()
+            service.close()
 
     def test_dead_sibling_blocks_recovery(self):
         _, service = make_service(replicas=2)
@@ -102,7 +102,7 @@ class TestRollingReprogram:
             events = service.run_recovery_cycle()
             assert [e.action for e in events] == ["defer"]
         finally:
-            service.shutdown()
+            service.close()
 
     def test_custom_reprogram_fn_is_used(self):
         _, service = make_service()
@@ -119,7 +119,7 @@ class TestRollingReprogram:
             reprogrammer.run_cycle()
             assert seen == [victim]
         finally:
-            service.shutdown()
+            service.close()
 
     def test_min_live_validated(self):
         _, service = make_service()
@@ -127,7 +127,7 @@ class TestRollingReprogram:
             with pytest.raises(ValueError, match="min_live"):
                 RollingReprogrammer(service.groups, min_live=0)
         finally:
-            service.shutdown()
+            service.close()
 
 
 class TestFleetTelemetry:
@@ -144,7 +144,7 @@ class TestFleetTelemetry:
                 label.startswith("shard") for label in summary["lanes"]
             )
         finally:
-            service.shutdown()
+            service.close()
 
     def test_fleet_events_serialise_to_json(self):
         import json
@@ -154,7 +154,7 @@ class TestFleetTelemetry:
             drift_replica(service.groups[0].replicas[0])
             service.run_recovery_cycle()
         finally:
-            service.shutdown()
+            service.close()
         doc = json.loads(service.log.to_json())
         events = doc["fleet_events"]
         assert len(events) == 1

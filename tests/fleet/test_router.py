@@ -40,7 +40,7 @@ class TestExactness:
         try:
             assert np.array_equal(service.forward(x), reference)
         finally:
-            service.shutdown()
+            service.close()
 
     @pytest.mark.parametrize("replicas", [1, 2, 3])
     def test_bit_identical_across_replica_counts(self, replicas):
@@ -50,7 +50,7 @@ class TestExactness:
         try:
             assert np.array_equal(service.forward(x), reference)
         finally:
-            service.shutdown()
+            service.close()
 
     def test_bit_identical_under_nodal_ir(self):
         # The hard case: per-tile sparse nodal solves, multi-RHS
@@ -62,7 +62,7 @@ class TestExactness:
             assert np.array_equal(service.forward(x), reference)
             assert np.array_equal(service.predict(x[0]), reference[0])
         finally:
-            service.shutdown()
+            service.close()
 
     def test_input_width_validated(self):
         _, service = make_service(10)
@@ -70,7 +70,7 @@ class TestExactness:
             with pytest.raises(ValueError, match="width"):
                 service.predict(np.ones(N_ROWS + 1))
         finally:
-            service.shutdown()
+            service.close()
 
 
 class TestRouting:
@@ -80,7 +80,7 @@ class TestRouting:
             for group in service.groups:
                 assert group.pick().replica_index == 0
         finally:
-            service.shutdown()
+            service.close()
 
     def test_draining_replicas_are_skipped(self):
         _, service = make_service(10)
@@ -90,7 +90,7 @@ class TestRouting:
             assert group.pick().replica_index == 1
             assert len(group.live_replicas) == 1
         finally:
-            service.shutdown()
+            service.close()
 
     def test_exclusion_exhaustion_raises(self):
         _, service = make_service(10, replicas=1)
@@ -99,7 +99,7 @@ class TestRouting:
             with pytest.raises(NoLiveReplicaError):
                 group.pick(exclude=frozenset({"shard0/r0"}))
         finally:
-            service.shutdown()
+            service.close()
 
 
 class TestFailureRetry:
@@ -116,7 +116,7 @@ class TestFailureRetry:
             assert np.array_equal(service.forward(x), reference)
             assert service.stats()["dropped"] == 0
         finally:
-            service.shutdown()
+            service.close()
         kills = [
             e for e in service.log.fleet_events if e.action == "kill"
         ]
@@ -130,7 +130,7 @@ class TestFailureRetry:
             with pytest.raises(NoLiveReplicaError):
                 service.predict(np.ones(N_ROWS), timeout=30.0)
         finally:
-            service.shutdown()
+            service.close()
 
     def test_killed_replica_rejects_new_work(self):
         _, service = make_service(10, replicas=2)
@@ -143,4 +143,4 @@ class TestFailureRetry:
             with pytest.raises(ReplicaDeadError):
                 replica.submit(np.ones(10))
         finally:
-            service.shutdown()
+            service.close()

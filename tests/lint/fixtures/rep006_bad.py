@@ -1,0 +1,20 @@
+"""REP006 positive fixture: numpy calls inside backend-aware kernels."""
+
+import numpy as np
+import numpy as onp
+
+from repro.backend import resolve_backend
+
+
+def kernel_with_xp(x, xp=None):
+    bk = resolve_backend(xp)
+    y = np.exp(bk.asarray(x))  # line 11: np op despite xp param
+    return np.sum(y, axis=0)  # line 12: another one
+
+
+def kernel_with_backend(x, backend=None):
+    return np.einsum("ij,jk->ik", x, x)  # line 16: aliased below too
+
+
+def kernel_with_alias(x, backend=None):
+    return onp.clip(x, 0.0, 1.0)  # line 20: through a numpy alias

@@ -1,0 +1,24 @@
+"""REP006 negative fixture: the allowed shapes of backend-aware code."""
+
+import numpy as np
+
+from repro.backend import resolve_backend
+
+
+def ported_kernel(x, xp=None):
+    # Routing through the namespace object is the whole point.
+    bk = resolve_backend(xp)
+    y = bk.exp(bk.asarray(x))
+    return bk.sum(y, axis=0)
+
+
+def boundary_conversions(x, backend=None):
+    bk = resolve_backend(backend)
+    # asarray/nonzero are the host boundary, deliberately exempt.
+    host = np.asarray(bk.to_numpy(x))
+    return bk.asarray(host[np.nonzero(host > 0)])
+
+
+def plain_numpy_helper(x):
+    # No xp/backend parameter: ordinary numpy code is untouched.
+    return np.exp(np.sum(x, axis=0))

@@ -115,6 +115,31 @@ class TestRep005:
         assert codes_of(lint_fixture("rep005_good.py")) == []
 
 
+class TestRep006:
+    def test_flags_numpy_calls_in_backend_aware_kernels(self):
+        result = lint_fixture("rep006_bad.py")
+        assert codes_of(result) == ["REP006"] * 4
+        assert [v.line for v in result.violations] == [11, 12, 16, 20]
+
+    def test_clean_on_namespace_routing_and_boundaries(self):
+        assert codes_of(lint_fixture("rep006_good.py")) == []
+
+    def test_backend_package_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def op(x, xp=None):\n"
+            "    return np.exp(x)\n"
+        )
+        flagged = lint_sources(
+            [("src/repro/xbar/kernel.py", source)]
+        )
+        exempt = lint_sources(
+            [("src/repro/backend/core.py", source)]
+        )
+        assert codes_of(flagged) == ["REP006"]
+        assert codes_of(exempt) == []
+
+
 class TestSelect:
     def test_select_narrows_enforced_rules(self):
         result = lint_paths(

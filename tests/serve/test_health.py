@@ -113,7 +113,7 @@ class TestRemapRoundTrip:
                     timeout=30.0,
                 )
         finally:
-            service.shutdown()
+            service.close()
         remaps = [e for e in log.drift_events if e.action == "remap"]
         assert len(remaps) == 1
         event = remaps[0]
@@ -140,4 +140,4 @@ class TestRemapRoundTrip:
             service.remap()
             assert dead_row not in service.engine.mapping.assignment
         finally:
-            service.shutdown()
+            service.close()
