@@ -102,8 +102,15 @@ class ShardReplica:
             repair=None,
             log=self.log,
         )
-        self.alive = True
-        self.draining = False
+        # Single-writer liveness flags, read racily on purpose: 'alive'
+        # flips True->False exactly once (kill, caller thread) and is
+        # read advisorily by the scheduler worker and by router
+        # callbacks — a stale read is harmless because every downstream
+        # path fails fast with ReplicaDeadError and is retried.
+        # 'draining' is bracketed by the reprogrammer on the caller
+        # thread only.  Python bool loads/stores are atomic.
+        self.alive = True  # repro-lint: atomic
+        self.draining = False  # repro-lint: atomic
         self._scheduler_kwargs = dict(
             max_batch=max_batch,
             max_queue=max_queue,
@@ -121,7 +128,7 @@ class ShardReplica:
             **self._scheduler_kwargs,
         )
 
-    def _on_batch(self) -> None:
+    def _on_batch(self) -> None:  # repro-lint: thread=worker
         # The monitor replays probes through the engine; after a kill
         # that read would raise inside the worker thread, so skip it.
         if self.alive:

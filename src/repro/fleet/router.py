@@ -24,11 +24,11 @@ scheduler doing its job, and a retry would arrive even later.
 from __future__ import annotations
 
 import concurrent.futures
-import threading
 
 import numpy as np
 
 from repro.fleet.engine import ReplicaDeadError, ShardReplica
+from repro.lint.sanitize import make_lock
 from repro.serve.scheduler import ServeOverloadedError
 from repro.xbar.tiling import TiledPair
 
@@ -108,25 +108,28 @@ class _GatherState:
         self.parts: list[np.ndarray | None] = [None] * n_parts
         self.remaining = n_parts
         self.future = future
-        self.lock = threading.Lock()
+        self.lock = make_lock("gather-state")
         self.failed = False
 
-    def deliver(self, index: int, part: np.ndarray) -> None:
+    def deliver(self, index: int, part: np.ndarray) -> None:  # repro-lint: thread=worker
         with self.lock:
             if self.failed:
                 return
             self.parts[index] = part
             self.remaining -= 1
-            ready = self.remaining == 0
-        if ready:
+            # Snapshot under the lock: only the thread that lands the
+            # last partial sees a full list, and taking the copy here
+            # (not after release) keeps every self.parts access
+            # lock-guarded.
+            parts = list(self.parts) if self.remaining == 0 else None
+        if parts is not None:
             # Fixed reduction order: left-to-right in shard order, the
             # same order TiledPair.matvec uses, so the gathered result
-            # is bit-identical to the single-machine read.
-            self.future.set_result(
-                TiledPair.reduce_partials(self.parts)
-            )
+            # is bit-identical to the single-machine read.  set_result
+            # runs outside the lock: it fires user callbacks.
+            self.future.set_result(TiledPair.reduce_partials(parts))
 
-    def fail(self, exc: BaseException) -> None:
+    def fail(self, exc: BaseException) -> None:  # repro-lint: thread=worker
         with self.lock:
             if self.failed:
                 return

@@ -2,7 +2,8 @@
 
 The runtime engine (PR 1) made three implicit contracts load-bearing;
 this package enforces them statically (stdlib ``ast`` only, no new
-dependencies):
+dependencies), in two phases: per-file AST checks, then cross-module
+rules over a repo-wide symbol table:
 
 ==========  ==========================================================
 ``REP001``  every stochastic path flows from an explicit seeded
@@ -15,19 +16,36 @@ dependencies):
             with deterministically-hashable fields
 ``REP004``  no mutable default arguments
 ``REP005``  no bare ``except:`` / silently swallowed exceptions
+``REP006``  backend-aware kernels route array ops through the
+            ``xp``/``backend`` namespace object
+``REP007``  instance state shared across threads is lock-guarded or
+            declared ``# guarded-by: <lock>`` / atomic
+``REP008``  started threads are joined on the drain/close path;
+            ``ServiceLifecycle`` implementations expose the full
+            ``Service`` surface
+``REP009``  backend-aware kernels reduce through fixed-accumulation
+            helpers (einsum), never bare ``@``/``sum``/``+=`` loops
+``REP010``  backend-aware functions do not call numpy-touching
+            helpers, and forward ``xp``/``backend`` to backend-aware
+            callees
 ==========  ==========================================================
 
 Run it as ``python -m repro.lint src`` or ``repro lint``; suppress a
-reviewed finding inline with ``# repro-lint: disable=REPxxx``.  See
-``docs/determinism.md`` for the full contract description.
+reviewed finding inline with ``# repro-lint: disable=REPxxx``.  The
+sibling runtime check — the lock-order sanitizer in
+:mod:`repro.lint.sanitize` — is enabled with ``REPRO_SANITIZE=1``.
+See ``docs/linting.md`` for the full rule catalogue with examples and
+``docs/determinism.md`` for the underlying contracts.
 """
 
+from repro.lint.baseline import Baseline, load_baseline, write_baseline
 from repro.lint.engine import LintResult, discover_files, lint_paths, lint_sources
 from repro.lint.suppress import SuppressionMap, parse_suppressions
 from repro.lint.violation import ALL_CODES, RULES, Violation
 
 __all__ = [
     "ALL_CODES",
+    "Baseline",
     "LintResult",
     "RULES",
     "SuppressionMap",
@@ -35,5 +53,7 @@ __all__ = [
     "discover_files",
     "lint_paths",
     "lint_sources",
+    "load_baseline",
     "parse_suppressions",
+    "write_baseline",
 ]

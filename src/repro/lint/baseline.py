@@ -1,0 +1,96 @@
+"""Baseline files: land new rules without a flag-day.
+
+A baseline is a JSON list of violation *fingerprints* — ``(path, code,
+message)``, deliberately without line numbers so unrelated edits moving
+code around do not churn the file.  Violations matching a fingerprint
+are reported separately as "baselined" (visible, counted, excluded from
+the exit code), so a new rule can gate CI immediately while its
+pre-existing findings are burned down deliberately — and a finding that
+is *fixed* simply stops matching, so the baseline only ever shrinks.
+
+Write one with ``repro lint --write-baseline lint-baseline.json`` and
+enforce it with ``repro lint --baseline lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.violation import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+_SCHEMA_VERSION = 1
+
+
+def _fingerprint(violation: Violation) -> tuple[str, str, str]:
+    return (violation.path, violation.code, violation.message)
+
+
+class Baseline:
+    """A multiset of accepted violation fingerprints.
+
+    Matching is stateful: each fingerprint absorbs at most as many
+    violations as the baseline recorded, so *new* duplicates of an old
+    finding still fail the run.
+    """
+
+    def __init__(self, fingerprints: Iterable[tuple[str, str, str]] = ()):
+        self._budget: dict[tuple[str, str, str], int] = {}
+        for fp in fingerprints:
+            self._budget[fp] = self._budget.get(fp, 0) + 1
+
+    def __len__(self) -> int:
+        return sum(self._budget.values())
+
+    def absorb(self, violation: Violation) -> bool:
+        """Whether ``violation`` is covered (consumes one budget slot)."""
+        fp = _fingerprint(violation)
+        remaining = self._budget.get(fp, 0)
+        if remaining <= 0:
+            return False
+        self._budget[fp] = remaining - 1
+        return True
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file written by :func:`write_baseline`.
+
+    Raises:
+        ValueError: If the document is not a recognised baseline.
+    """
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    if (
+        not isinstance(document, dict)
+        or document.get("schema_version") != _SCHEMA_VERSION
+        or not isinstance(document.get("fingerprints"), list)
+    ):
+        raise ValueError(f"not a repro-lint baseline file: {path}")
+    fingerprints = []
+    for entry in document["fingerprints"]:
+        fingerprints.append(
+            (
+                str(entry["path"]),
+                str(entry["code"]),
+                str(entry["message"]),
+            )
+        )
+    return Baseline(fingerprints)
+
+
+def write_baseline(path: str | Path, violations: Sequence[Violation]) -> int:
+    """Record ``violations`` as the accepted baseline; returns the count."""
+    entries = sorted(_fingerprint(v) for v in violations)
+    document = {
+        "schema_version": _SCHEMA_VERSION,
+        "fingerprints": [
+            {"path": p, "code": c, "message": m} for p, c, m in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

@@ -2,9 +2,15 @@
 
 Exit codes follow convention: 0 clean, 1 violations found, 2 usage
 error.  ``--format json`` emits a machine-readable document (stable
-schema, see ``docs/determinism.md``) for CI and tooling; the default
-text mode prints one ``path:line:col: CODE message`` per finding plus
-a summary line.
+schema, see ``docs/determinism.md``) for CI and tooling; ``--format
+github`` emits GitHub Actions ``::error`` workflow commands so findings
+surface as inline PR annotations; the default text mode prints one
+``path:line:col: CODE message`` per finding plus a summary line.
+
+``--jobs N`` parallelizes the per-file phase over worker processes
+(identical output at any N); ``--baseline FILE`` tolerates the
+accepted findings recorded by ``--write-baseline FILE`` so a new rule
+can gate CI before its pre-existing debt is burned down.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import json
 import sys
 from typing import Sequence
 
+from repro.lint.baseline import load_baseline, write_baseline
 from repro.lint.engine import LintResult, lint_paths
 from repro.lint.violation import ALL_CODES, RULES
 
@@ -33,9 +40,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "github"),
         default="text",
-        help="output format (json is the CI interface)",
+        help=(
+            "output format (json is the CI interface; github emits "
+            "::error workflow commands for inline PR annotations)"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -55,6 +65,37 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the per-file analysis phase "
+            "(default: 1; output is identical at any N)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline file of accepted findings (written by "
+            "--write-baseline); matches are reported but do not fail "
+            "the run"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help=(
+            "record the current unsuppressed findings as the accepted "
+            "baseline and exit 0"
+        ),
+    )
+    parser.add_argument(
         "--statistics",
         action="store_true",
         help="print per-rule counts after the findings",
@@ -71,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Project-specific determinism/picklability/cache-contract "
-            "checker (rules REP001-REP005)."
+            "checker (rules REP001-REP010)."
         ),
     )
     add_lint_arguments(parser)
@@ -96,10 +137,58 @@ def _render_json(result: LintResult) -> str:
         "files_checked": result.files_checked,
         "violations": [v.to_dict() for v in result.violations],
         "suppressed": [v.to_dict() for v in result.suppressed],
+        "baselined": [v.to_dict() for v in result.baselined],
         "counts": result.counts,
         "clean": not result.violations,
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _escape_workflow_data(value: str) -> str:
+    """Escape message data for a GitHub Actions workflow command."""
+    return (
+        value.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+
+
+def _escape_workflow_property(value: str) -> str:
+    """Escape a property value (also escapes ``:`` and ``,``)."""
+    return (
+        _escape_workflow_data(value)
+        .replace(":", "%3A")
+        .replace(",", "%2C")
+    )
+
+
+def _render_github(result: LintResult) -> str:
+    """One ``::error`` workflow command per finding.
+
+    GitHub renders these as inline annotations on the PR diff; the
+    summary goes through as a ``::notice`` so the job log still states
+    the totals.
+    """
+    lines = []
+    for violation in result.violations:
+        lines.append(
+            "::error file={file},line={line},col={col},title={title}::"
+            "{message}".format(
+                file=_escape_workflow_property(violation.path),
+                line=violation.line,
+                col=violation.col,
+                title=_escape_workflow_property(violation.code),
+                message=_escape_workflow_data(violation.message),
+            )
+        )
+    n = len(result.violations)
+    lines.append(
+        f"::notice::repro-lint: {n} violation{'s' if n != 1 else ''} "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined) "
+        f"in {result.files_checked} files"
+    )
+    return "\n".join(lines)
 
 
 def _render_text(result: LintResult, statistics: bool) -> str:
@@ -111,7 +200,8 @@ def _render_text(result: LintResult, statistics: bool) -> str:
     n = len(result.violations)
     summary = (
         f"{n} violation{'s' if n != 1 else ''} "
-        f"({len(result.suppressed)} suppressed) "
+        f"({len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined) "
         f"in {result.files_checked} files"
     )
     lines.append(summary if lines else f"clean: {summary}")
@@ -124,17 +214,35 @@ def run_lint(args: argparse.Namespace) -> int:
         for code in sorted(RULES):
             print(f"{code}  {RULES[code]}")
         return 0
+    baseline = None
+    if args.baseline is not None and args.write_baseline is None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
     try:
         result = lint_paths(
             args.paths,
             select=_parse_select(args.select),
             allow_unseeded=args.allow_unseeded,
+            jobs=max(1, args.jobs),
+            baseline=baseline,
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, result.violations)
+        print(
+            f"wrote {count} accepted finding"
+            f"{'s' if count != 1 else ''} to {args.write_baseline}"
+        )
+        return 0
     if args.format == "json":
         print(_render_json(result))
+    elif args.format == "github":
+        print(_render_github(result))
     else:
         print(_render_text(result, args.statistics))
     return 1 if result.violations else 0

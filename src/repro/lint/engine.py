@@ -1,14 +1,19 @@
-"""Lint driver: file discovery, the two-pass run, suppression filtering.
+"""Lint driver: file discovery, the two-phase run, suppression filtering.
 
-Pass 1 analyses every file independently (REP001/2/4/5 plus the raw
-material for REP003); pass 2 joins dataclass definitions against
-cache-key uses across the whole file set.  Suppression directives are
-applied last so the engine can report how many findings a tree is
-explicitly living with.
+Phase 1 analyses every file independently (REP001/2/4/5/6/9 plus the
+raw material for the cross-file passes) — optionally in parallel over
+worker processes (``jobs``), which is sound because per-file analysis
+is a pure function of ``(path, source)``.  Phase 2 joins the per-file
+tables across the whole file set: dataclass definitions against
+cache-key uses (REP003) and the project symbol table for the
+concurrency/lifecycle/backend-purity rules (REP007/REP008/REP010).
+Suppression directives and the optional baseline are applied last so
+the engine can report how many findings a tree is explicitly living
+with.
 
 Everything here is stdlib-only and deterministic: files are discovered
 and reported in sorted order, so two runs over the same tree emit
-byte-identical output.
+byte-identical output (at any ``jobs``).
 """
 
 from __future__ import annotations
@@ -17,9 +22,11 @@ import dataclasses
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.lint.baseline import Baseline
 from repro.lint.cachekeys import check_cache_keys
-from repro.lint.rules import analyze_file
-from repro.lint.suppress import parse_suppressions
+from repro.lint.project import check_project
+from repro.lint.rules import FileAnalysis, analyze_file
+from repro.lint.suppress import SuppressionMap, parse_suppressions
 from repro.lint.violation import ALL_CODES, Violation
 
 __all__ = ["LintResult", "discover_files", "lint_sources", "lint_paths"]
@@ -38,12 +45,15 @@ class LintResult:
     Attributes:
         violations: Unsuppressed findings, sorted by (path, line, col).
         suppressed: Findings covered by an inline directive.
+        baselined: Findings covered by the baseline file (accepted
+            pre-existing debt, excluded from the failure exit code).
         files_checked: Number of files analysed.
     """
 
     violations: tuple[Violation, ...]
     suppressed: tuple[Violation, ...]
     files_checked: int
+    baselined: tuple[Violation, ...] = ()
 
     @property
     def counts(self) -> dict[str, int]:
@@ -78,10 +88,25 @@ def _sort_key(violation: Violation) -> tuple[str, int, int, str]:
     return (violation.path, violation.line, violation.col, violation.code)
 
 
+def _analyze_source(
+    pair: tuple[str, str],
+) -> tuple[FileAnalysis, SuppressionMap]:
+    """Phase-1 analysis of one ``(path, source)`` pair.
+
+    Module-level (not a closure) so ``jobs > 1`` can ship it to worker
+    processes; both halves of the return value are plain frozen
+    dataclasses and pickle cleanly.
+    """
+    path, source = pair
+    return analyze_file(path, source), parse_suppressions(source)
+
+
 def lint_sources(
     sources: Sequence[tuple[str, str]],
     select: Iterable[str] | None = None,
     allow_unseeded: Iterable[str] = (),
+    jobs: int = 1,
+    baseline: Baseline | None = None,
 ) -> LintResult:
     """Lint in-memory ``(path, source)`` pairs (the testable core).
 
@@ -91,16 +116,27 @@ def lint_sources(
         allow_unseeded: Path suffixes of sanctioned entry points where
             REP001 does not apply (e.g. a demo script that genuinely
             wants OS entropy).
+        jobs: Worker processes for phase-1 analysis (1 = in-process;
+            results are identical at any value).
+        baseline: Accepted pre-existing findings; matches are reported
+            as ``baselined`` instead of ``violations``.
     """
     selected = frozenset(select) if select is not None else ALL_CODES
     allow = tuple(allow_unseeded)
 
-    analyses = []
-    suppressions = []
-    for path, source in sources:
-        analyses.append(analyze_file(path, source))
-        suppressions.append((path, parse_suppressions(source)))
-    suppression_by_path = dict(suppressions)
+    if jobs > 1 and len(sources) > 1:
+        # Lazy import: the default lint path stays stdlib-only.
+        from repro.runtime.executor import parallel_map
+
+        analyzed = parallel_map(
+            _analyze_source, list(sources), jobs=jobs, label="lint"
+        )
+    else:
+        analyzed = [_analyze_source(pair) for pair in sources]
+    analyses = [analysis for analysis, _ in analyzed]
+    suppression_by_path = {
+        path: smap for (path, _), (_, smap) in zip(sources, analyzed)
+    }
 
     all_violations: list[Violation] = []
     for analysis in analyses:
@@ -111,9 +147,28 @@ def lint_sources(
             [u for a in analyses for u in a.cache_key_uses],
         )
     )
+    all_violations.extend(
+        check_project([a.symbols for a in analyses if a.symbols is not None])
+    )
+    for path, smap in suppression_by_path.items():
+        for line, code in smap.unknown:
+            all_violations.append(
+                Violation(
+                    path=path,
+                    line=line,
+                    col=1,
+                    code="REP000",
+                    message=(
+                        f"unknown rule code '{code}' in suppression "
+                        "directive; check --list-rules (a typo here "
+                        "suppresses nothing)"
+                    ),
+                )
+            )
 
     kept: list[Violation] = []
     suppressed: list[Violation] = []
+    baselined: list[Violation] = []
     for violation in sorted(all_violations, key=_sort_key):
         if violation.code not in selected and violation.code != "REP000":
             continue
@@ -122,13 +177,23 @@ def lint_sources(
         ):
             continue
         smap = suppression_by_path.get(violation.path)
-        if smap is not None and smap.is_suppressed(violation):
+        # REP000 (broken file / broken directive) is never suppressible:
+        # a directive that cannot be trusted must not silence the
+        # warning about itself.
+        if (
+            violation.code != "REP000"
+            and smap is not None
+            and smap.is_suppressed(violation)
+        ):
             suppressed.append(violation)
+        elif baseline is not None and baseline.absorb(violation):
+            baselined.append(violation)
         else:
             kept.append(violation)
     return LintResult(
         violations=tuple(kept),
         suppressed=tuple(suppressed),
+        baselined=tuple(baselined),
         files_checked=len(sources),
     )
 
@@ -137,6 +202,8 @@ def lint_paths(
     paths: Iterable[str | Path],
     select: Iterable[str] | None = None,
     allow_unseeded: Iterable[str] = (),
+    jobs: int = 1,
+    baseline: Baseline | None = None,
 ) -> LintResult:
     """Discover, read and lint files under ``paths``.
 
@@ -161,7 +228,11 @@ def lint_paths(
             continue
         sources.append((str(path), text))
     result = lint_sources(
-        sources, select=select, allow_unseeded=allow_unseeded
+        sources,
+        select=select,
+        allow_unseeded=allow_unseeded,
+        jobs=jobs,
+        baseline=baseline,
     )
     if unreadable:
         merged = sorted(

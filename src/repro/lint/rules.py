@@ -1,10 +1,11 @@
 """Per-file AST analysis implementing the REP rule set.
 
 One :class:`FileChecker` walk produces (a) direct violations of
-REP001/REP002/REP004/REP005/REP006 and (b) the raw material of the
-cross-file REP003 pass: every dataclass definition and every expression
-observed flowing into a cache-key position.  The cross-file resolution itself
-lives in :mod:`repro.lint.cachekeys`.
+REP001/REP002/REP004/REP005/REP006/REP009 and (b) the raw material of
+the cross-file passes: every dataclass definition and cache-key use
+(REP003, resolved in :mod:`repro.lint.cachekeys`) and the per-file
+symbol table the project-wide rules join (REP007/REP008/REP010,
+resolved in :mod:`repro.lint.project`).
 
 The checker is deliberately conservative: it only reports what it can
 *prove* from the AST (a literal lambda, a name assigned from a lambda
@@ -18,6 +19,7 @@ import ast
 import dataclasses
 from typing import Iterator
 
+from repro.lint.project import FileSymbols, collect_file, parse_annotations
 from repro.lint.violation import Violation
 
 __all__ = [
@@ -105,6 +107,21 @@ _BACKEND_PARAM_NAMES = frozenset({"xp", "backend"})
 # numpy delegation layer, so REP006 does not apply inside it.
 _REP006_EXEMPT_FRAGMENT = "repro/backend/"
 
+# The blessed fixed-accumulation helpers: reductions routed through
+# these are bit-stable under batching, so REP009 never fires on them —
+# and the functions *defining* them are exempt (they are the
+# implementation of the contract).
+_BLESSED_ACCUMULATORS = frozenset(
+    {"batch_invariant_matmul", "trial_stacked_matmul"}
+)
+
+# Allocation calls whose result is an accumulator candidate: a name
+# assigned from one of these and then ``+=``-ed inside a loop is an
+# incremental accumulation whose order depends on iteration.
+_ACCUMULATOR_FACTORIES = frozenset(
+    {"zeros", "zeros_like", "empty", "empty_like"}
+)
+
 
 @dataclasses.dataclass(frozen=True)
 class DataclassInfo:
@@ -142,6 +159,8 @@ class FileAnalysis:
     violations: tuple[Violation, ...]
     dataclasses: tuple[DataclassInfo, ...]
     cache_key_uses: tuple[CacheKeyUse, ...]
+    #: Phase-1 symbol table for the project-wide rules (REP007/8/10).
+    symbols: FileSymbols | None = None
 
 
 def _annotation_names(node: ast.AST) -> Iterator[str]:
@@ -186,6 +205,13 @@ class _Scope:
         # Function scopes only: declares an xp/backend parameter, so
         # REP006 holds its array ops to the namespace object.
         self.backend_aware = False
+        # Function scopes only: this *is* a blessed accumulation
+        # helper, so REP009 does not police its internals.
+        self.rep009_exempt = False
+        # Names assigned from zeros()/empty()-style factories in this
+        # scope: ``+=`` on one of these inside a loop is incremental
+        # accumulation (REP009).
+        self.accumulators: set[str] = set()
 
 
 class FileChecker(ast.NodeVisitor):
@@ -208,6 +234,7 @@ class FileChecker(ast.NodeVisitor):
         self._rep006_exempt = (
             _REP006_EXEMPT_FRAGMENT in path.replace("\\", "/")
         )
+        self._loop_depth = 0
 
     # -- helpers -------------------------------------------------------
     def _report(self, node: ast.AST, code: str, message: str) -> None:
@@ -503,6 +530,100 @@ class FileChecker(ast.NodeVisitor):
                 f"{func.attr}) to run identically under every backend",
             )
 
+    # -- REP009 --------------------------------------------------------
+    def _rep009_scope(self) -> _Scope | None:
+        """The enclosing function scope REP009 applies to, if any."""
+        if self._rep006_exempt:
+            return None
+        scope = next(
+            (s for s in reversed(self.scopes) if s.kind == "function"),
+            None,
+        )
+        if scope is None or not scope.backend_aware or scope.rep009_exempt:
+            return None
+        return scope
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.MatMult) and self._rep009_scope():
+            self._report(
+                node,
+                "REP009",
+                "'@' in a backend-aware kernel picks a shape-dependent "
+                "BLAS accumulation strategy and is not bit-stable under "
+                "batching; route the product through "
+                "batch_invariant_matmul / trial_stacked_matmul or "
+                "xp.einsum",
+            )
+        self.generic_visit(node)
+
+    def _check_rep009_sum(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "sum"
+            and self._lookup("sum") is None
+            and self._rep009_scope()
+        ):
+            self._report(
+                node,
+                "REP009",
+                "builtin sum() in a backend-aware kernel reduces by "
+                "repeated '+' outside the namespace object; use "
+                "xp.sum(..., axis=...) or xp.einsum so every backend "
+                "reduces each trial slice in the same fixed order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        scope = self._rep009_scope()
+        if scope is not None:
+            if isinstance(node.op, ast.MatMult):
+                self._report(
+                    node,
+                    "REP009",
+                    "'@=' in a backend-aware kernel is a BLAS product "
+                    "with shape-dependent accumulation; use "
+                    "batch_invariant_matmul / xp.einsum",
+                )
+            elif (
+                isinstance(node.op, ast.Add)
+                and self._loop_depth > 0
+                and isinstance(node.target, ast.Name)
+                and node.target.id in scope.accumulators
+            ):
+                self._report(
+                    node,
+                    "REP009",
+                    f"'{node.target.id} +=' inside a loop accumulates "
+                    "in iteration order, which chunking reorders; "
+                    "stack the terms and reduce once with xp.einsum or "
+                    "a trailing-axis xp.sum",
+                )
+        self.generic_visit(node)
+
+    def _record_accumulator(self, name: str, value: ast.AST) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        func = value.func
+        factory = None
+        if isinstance(func, ast.Attribute):
+            factory = func.attr
+        elif isinstance(func, ast.Name):
+            factory = func.id
+        if factory in _ACCUMULATOR_FACTORIES:
+            self.scopes[-1].accumulators.add(name)
+        else:
+            self.scopes[-1].accumulators.discard(name)
+
     # -- REP005 --------------------------------------------------------
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         if node.type is None:
@@ -603,11 +724,17 @@ class FileChecker(ast.NodeVisitor):
         scope.backend_aware = any(
             arg.arg in _BACKEND_PARAM_NAMES for arg in all_args
         )
+        scope.rep009_exempt = node.name in _BLESSED_ACCUMULATORS
         for arg in all_args:
             if arg.annotation is not None:
                 for root in _annotation_roots(arg.annotation):
                     if root[:1].isupper():
                         scope.bindings.setdefault(arg.arg, root)
+        for arg in all_args + [args.vararg, args.kwarg]:
+            if arg is not None:
+                # Mark every parameter as locally bound so builtin-name
+                # checks (e.g. REP009's sum()) see the shadowing.
+                scope.bindings.setdefault(arg.arg, "param")
         self.scopes.append(scope)
         self.generic_visit(node)
         self.scopes.pop()
@@ -637,6 +764,7 @@ class FileChecker(ast.NodeVisitor):
                 resolved = self._resolve_class_names(value)
                 if len(resolved) == 1:
                     self.scopes[-1].bindings[name] = resolved[0]
+            self._record_accumulator(name, value)
         self.generic_visit(node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
@@ -654,6 +782,7 @@ class FileChecker(ast.NodeVisitor):
         self._check_rep001(node)
         self._check_rep002(node)
         self._check_rep006(node)
+        self._check_rep009_sum(node)
         self._check_cache_key_flow(node)
         self.generic_visit(node)
 
@@ -682,4 +811,5 @@ def analyze_file(path: str, source: str) -> FileAnalysis:
         violations=tuple(checker.violations),
         dataclasses=tuple(checker.dataclasses),
         cache_key_uses=tuple(checker.cache_key_uses),
+        symbols=collect_file(path, tree, parse_annotations(source)),
     )

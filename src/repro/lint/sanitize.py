@@ -1,0 +1,177 @@
+"""Runtime lock-order sanitizer for the serving stack.
+
+Static analysis (REP007) proves that shared state is *guarded*; it
+cannot prove that two locks are always taken in the same order.  This
+module closes that gap at runtime: :func:`make_lock` hands out
+instrumented locks that record, per thread, the order in which lock
+*roles* are acquired, and raise :class:`LockOrderError` the moment an
+acquisition would establish the reverse of an order already observed —
+the classic ABBA deadlock, caught on the first run that exercises both
+paths, not on the unlucky interleaving that actually deadlocks.
+
+The sanitizer is off by default: ``make_lock`` returns a plain
+``threading.Lock`` unless ``REPRO_SANITIZE=1`` is set in the
+environment, so production code pays nothing.  CI runs the serve/fleet
+test subset in a dedicated lane with the sanitizer on and asserts zero
+findings (see ``.github/workflows/ci.yml``).
+
+Locks are named by *role* (``"scheduler-state"``, ``"gather-state"``)
+and the order graph is kept per role, so an inversion between any two
+instances of the same pair of roles is caught — including nesting two
+locks of the *same* role, which this codebase never does on purpose.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+__all__ = [
+    "LockOrderError",
+    "enabled",
+    "findings",
+    "make_lock",
+    "reset",
+]
+
+_ENV_FLAG = "REPRO_SANITIZE"
+
+
+class LockOrderError(RuntimeError):
+    """Two lock roles were acquired in both orders (potential deadlock)."""
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is active (``REPRO_SANITIZE=1``)."""
+    return os.environ.get(_ENV_FLAG) == "1"
+
+
+class _Registry:
+    """Process-global acquisition-order graph and finding log."""
+
+    def __init__(self) -> None:
+        # Internal plain lock: guards the graph, never instrumented.
+        self._mutex = threading.Lock()
+        # (earlier_role, later_role) -> thread name that established it.
+        self._order: dict[tuple[str, str], str] = {}
+        self._findings: list[str] = []
+        self._held = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def before_acquire(self, role: str) -> None:
+        """Validate acquiring ``role`` against every lock already held."""
+        stack = self._stack()
+        if not stack:
+            return
+        thread = threading.current_thread().name
+        problems: list[str] = []
+        with self._mutex:
+            for held in stack:
+                if held == role:
+                    problems.append(
+                        f"thread '{thread}' acquiring lock role '{role}' "
+                        f"while already holding '{held}': same-role "
+                        "nesting is a self-deadlock (non-reentrant) or "
+                        "an undeclared cross-instance ordering"
+                    )
+                    continue
+                reverse = self._order.get((role, held))
+                if reverse is not None:
+                    problems.append(
+                        f"lock-order inversion: thread '{thread}' "
+                        f"acquires '{role}' while holding '{held}', but "
+                        f"thread '{reverse}' previously acquired "
+                        f"'{held}' while holding '{role}' — the two "
+                        "paths deadlock if interleaved"
+                    )
+                else:
+                    self._order.setdefault((held, role), thread)
+            self._findings.extend(problems)
+        if problems:
+            raise LockOrderError("; ".join(problems))
+
+    def did_acquire(self, role: str) -> None:
+        self._stack().append(role)
+
+    def did_release(self, role: str) -> None:
+        stack = self._stack()
+        # Release in any order is legal; drop the most recent entry.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == role:
+                del stack[i]
+                return
+
+    def snapshot(self) -> tuple[str, ...]:
+        with self._mutex:
+            return tuple(self._findings)
+
+    def clear(self) -> None:
+        with self._mutex:
+            self._order.clear()
+            self._findings.clear()
+        self._held = threading.local()
+
+
+_REGISTRY = _Registry()
+
+
+def findings() -> tuple[str, ...]:
+    """Every lock-order problem observed since the last :func:`reset`."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Clear the order graph and findings (test isolation)."""
+    _REGISTRY.clear()
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` that reports its acquisitions by role."""
+
+    def __init__(self, role: str, registry: _Registry | None = None):
+        self.role = role
+        self._registry = registry if registry is not None else _REGISTRY
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._registry.before_acquire(self.role)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._registry.did_acquire(self.role)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._registry.did_release(self.role)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"SanitizedLock(role={self.role!r})"
+
+
+def make_lock(role: str) -> "threading.Lock | SanitizedLock":
+    """A lock for ``role``: plain by default, instrumented under the
+    sanitizer.
+
+    Every lock guarding cross-thread state in the serving stack is
+    created through this factory (it is also how the REP007 rule
+    recognises a lock attribute), so flipping ``REPRO_SANITIZE=1``
+    instruments the whole process without touching call sites.
+    """
+    if enabled():
+        return SanitizedLock(role)
+    return threading.Lock()

@@ -31,12 +31,17 @@ _DIRECTIVE = re.compile(
 )
 
 
-def _parse_codes(raw: str) -> frozenset[str]:
-    """Normalise a comma-separated code list; ``all`` means every rule."""
+def _parse_codes(raw: str) -> tuple[frozenset[str], frozenset[str]]:
+    """Split a comma-separated code list into (known, unknown) codes.
+
+    ``all`` means every rule; anything not in the catalogue comes back
+    in the unknown set so the engine can surface the typo instead of
+    silently ignoring the directive.
+    """
     codes = {c.strip().upper() for c in raw.split(",") if c.strip()}
     if "ALL" in codes:
-        return ALL_CODES
-    return frozenset(codes & ALL_CODES)
+        return ALL_CODES, frozenset(codes - {"ALL"} - ALL_CODES)
+    return frozenset(codes & ALL_CODES), frozenset(codes - ALL_CODES)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,10 +51,14 @@ class SuppressionMap:
     Attributes:
         by_line: 1-based line -> codes suppressed on that line.
         file_wide: Codes suppressed for the entire file.
+        unknown: ``(line, code)`` pairs naming rule codes a directive
+            listed that are not in the catalogue — surfaced as REP000
+            findings so a typo never silently disables nothing.
     """
 
     by_line: dict[int, frozenset[str]]
     file_wide: frozenset[str]
+    unknown: tuple[tuple[int, str], ...] = ()
 
     def is_suppressed(self, violation: Violation) -> bool:
         """Whether ``violation`` is covered by a directive."""
@@ -66,6 +75,7 @@ def parse_suppressions(source: str) -> SuppressionMap:
     """
     by_line: dict[int, frozenset[str]] = {}
     file_wide: frozenset[str] = frozenset()
+    unknown: list[tuple[int, str]] = []
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
@@ -76,7 +86,9 @@ def parse_suppressions(source: str) -> SuppressionMap:
         match = _DIRECTIVE.search(tok.string)
         if match is None:
             continue
-        codes = _parse_codes(match.group("codes"))
+        codes, bad = _parse_codes(match.group("codes"))
+        for code in sorted(bad):
+            unknown.append((tok.start[0], code))
         if not codes:
             continue
         if match.group("scope") == "disable-file":
@@ -84,4 +96,6 @@ def parse_suppressions(source: str) -> SuppressionMap:
         else:
             line = tok.start[0]
             by_line[line] = by_line.get(line, frozenset()) | codes
-    return SuppressionMap(by_line=by_line, file_wide=file_wide)
+    return SuppressionMap(
+        by_line=by_line, file_wide=file_wide, unknown=tuple(unknown)
+    )

@@ -3,9 +3,12 @@
 Each rule guards one of the contracts the runtime engine made
 load-bearing (see ``docs/determinism.md``): seed discipline (REP001),
 process-pool picklability (REP002), cache-key stability (REP003), two
-general determinism/robustness hygiene rules (REP004, REP005), and
+general determinism/robustness hygiene rules (REP004, REP005),
 backend-namespace discipline in ported kernels (REP006, see
-``docs/backends.md``).
+``docs/backends.md``), cross-thread state and lifecycle discipline in
+the serving stack (REP007, REP008), fixed-order accumulation in
+batched kernels (REP009), and interprocedural backend purity (REP010).
+The full catalogue with examples lives in ``docs/linting.md``.
 """
 
 from __future__ import annotations
@@ -39,6 +42,29 @@ RULES: dict[str, str] = {
         "namespace object (asarray/nonzero conversion boundaries "
         "excepted)"
     ),
+    "REP007": (
+        "unguarded shared mutable state: an instance attribute shared "
+        "between a worker-thread method and the public API must be "
+        "accessed under one consistent lock, or declared "
+        "'# guarded-by: <lock>' / '# repro-lint: atomic'"
+    ),
+    "REP008": (
+        "lifecycle violation: every started Thread must be joined on "
+        "the drain/close path, and every ServiceLifecycle "
+        "implementation must expose the full Service protocol surface"
+    ),
+    "REP009": (
+        "order-unstable accumulation in a backend-aware kernel: use "
+        "the blessed einsum/stacked-reduction helpers "
+        "(batch_invariant_matmul, xp.einsum), not bare '@', builtin "
+        "sum(), or '+=' accumulation loops"
+    ),
+    "REP010": (
+        "interprocedural backend purity: a backend-aware function must "
+        "not call helpers that touch numpy directly, and must forward "
+        "xp/backend to backend-aware callees (host-boundary "
+        "asarray/to_numpy conversions excepted)"
+    ),
 }
 
 ALL_CODES = frozenset(RULES)
@@ -52,7 +78,7 @@ class Violation:
         path: File the violation was found in (as given to the engine).
         line: 1-based source line.
         col: 1-based source column.
-        code: Rule code (``REP001`` .. ``REP005``).
+        code: Rule code (``REP001`` .. ``REP010``).
         message: Human-readable description of this specific finding.
     """
 

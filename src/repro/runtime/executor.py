@@ -345,7 +345,9 @@ def map_trials_batched(
                 "does not accept a 'backend' parameter; port it to "
                 "repro.backend or drop the explicit backend argument"
             )
-    return _map_chunked(
+    # Results are host numpy arrays by contract at any backend, so the
+    # chunk-assembly helpers allocate numpy on purpose (host boundary).
+    return _map_chunked(  # repro-lint: disable=REP010
         _run_batch_chunk, _run_batch_chunk_remote, batch_trial, trials,
         seed=seed, jobs=jobs, chunk_size=chunk_size, label=label,
         kernel="batched",

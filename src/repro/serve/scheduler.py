@@ -34,6 +34,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.lint.sanitize import make_lock
 from repro.runtime.telemetry import RunLog, current_run_log
 from repro.serve.engine import InferenceEngine
 
@@ -121,8 +122,16 @@ class BatchScheduler:
         self.log = log if log is not None else (
             ambient if ambient is not None else RunLog()
         )
-        self.batches_served = 0
         self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue)
+        # One lock guards everything the submitter and the worker
+        # thread both touch: the intake flag, the throughput EMA and
+        # the served-batch counter.  Critically, the closed check and
+        # the enqueue happen under the same acquisition in submit(),
+        # and shutdown() flips the flag under it before posting the
+        # sentinel — so no accepted request can ever land behind the
+        # sentinel and be stranded.
+        self._state = make_lock("scheduler-state")
+        self.batches_served = 0
         self._closed = False
         # EMA of per-batch wall time; None until the first batch lands
         # so cold-start backpressure can fall back to the floor.
@@ -142,8 +151,6 @@ class BatchScheduler:
             ServeOverloadedError: The queue is at capacity.
             RuntimeError: The scheduler has been shut down.
         """
-        if self._closed:
-            raise RuntimeError("scheduler is shut down")
         if deadline_s is None:
             deadline_s = self.default_deadline_s
         now = time.monotonic()
@@ -153,24 +160,27 @@ class BatchScheduler:
             submitted=now,
             future=concurrent.futures.Future(),
         )
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            # Hint: time to drain the current backlog at the recent
-            # per-batch pace, never below the configured floor (a cold
-            # scheduler has no pace sample and must not advertise an
-            # instant retry).
-            backlog_batches = 1 + self._queue.qsize() / self.max_batch
-            pace = (
-                self._batch_seconds
-                if self._batch_seconds is not None
-                else self.min_retry_after_s
-            )
-            raise ServeOverloadedError(
-                retry_after_s=max(
-                    self.min_retry_after_s, backlog_batches * pace
+        with self._state:
+            if self._closed:
+                raise RuntimeError("scheduler is shut down")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                # Hint: time to drain the current backlog at the recent
+                # per-batch pace, never below the configured floor (a
+                # cold scheduler has no pace sample and must not
+                # advertise an instant retry).
+                backlog_batches = 1 + self._queue.qsize() / self.max_batch
+                pace = (
+                    self._batch_seconds
+                    if self._batch_seconds is not None
+                    else self.min_retry_after_s
                 )
-            ) from None
+                raise ServeOverloadedError(
+                    retry_after_s=max(
+                        self.min_retry_after_s, backlog_batches * pace
+                    )
+                ) from None
         return request.future
 
     @property
@@ -189,9 +199,13 @@ class BatchScheduler:
 
     def shutdown(self, timeout: float | None = None) -> None:
         """Stop intake, drain the queue, join the worker thread."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._state:
+            if self._closed:
+                return
+            self._closed = True
+        # The sentinel is posted *outside* the lock: a full queue makes
+        # this put block until the worker drains, and the worker needs
+        # the state lock to finish each batch.
         self._queue.put(_SHUTDOWN)
         self._worker.join(timeout=timeout)
 
@@ -254,11 +268,12 @@ class BatchScheduler:
             return
         done = time.monotonic()
         measured = done - start
-        self._batch_seconds = (
-            measured
-            if self._batch_seconds is None
-            else 0.7 * self._batch_seconds + 0.3 * measured
-        )
+        with self._state:
+            self._batch_seconds = (
+                measured
+                if self._batch_seconds is None
+                else 0.7 * self._batch_seconds + 0.3 * measured
+            )
         for i, request in enumerate(live):
             request.future.set_result(scores[i])
             self.log.record_request(
@@ -275,6 +290,7 @@ class BatchScheduler:
             if batch is None:
                 return
             self._serve_batch(batch)
-            self.batches_served += 1
+            with self._state:
+                self.batches_served += 1
             if self.on_batch is not None:
                 self.on_batch()

@@ -1,0 +1,58 @@
+"""REP007 positives: worker/API shared state without a consistent lock."""
+
+import threading
+
+
+class UnguardedCounter:
+    """Worker writes, public API reads, no lock anywhere."""
+
+    def __init__(self):
+        self._count = 0
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        self._count += 1
+
+    def count(self):
+        return self._count
+
+    def close(self):
+        self._worker.join()
+
+
+class InconsistentLock:
+    """Locked on the worker side only: the API read races anyway."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latest = None
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        with self._lock:
+            self._latest = 1.0
+
+    def latest(self):
+        return self._latest
+
+    def close(self):
+        self._worker.join()
+
+
+class AnnotatedWorker:
+    """Thread root via annotation, not Thread(target=...)."""
+
+    def __init__(self, pool):
+        self._pending = []
+        self._worker = pool.spawn(self._drain)
+
+    def _drain(self):  # repro-lint: thread=worker
+        self._pending.clear()
+
+    def add(self, item):
+        self._pending.append(item)
+
+    def close(self):
+        self._worker.join()

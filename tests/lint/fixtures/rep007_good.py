@@ -1,0 +1,78 @@
+"""REP007 negatives: guarded, declared-atomic, or not actually shared."""
+
+import threading
+
+
+class GuardedCounter:
+    """Every cross-thread access holds the same lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        with self._lock:
+            self._count += 1
+
+    def count(self):
+        with self._lock:
+            return self._count
+
+    def close(self):
+        self._worker.join()
+
+
+class DeclaredAtomic:
+    """Single-writer monotonic flag, declared where initialised."""
+
+    def __init__(self):
+        self.alive = True  # repro-lint: atomic
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        if self.alive:
+            pass
+
+    def kill(self):
+        self.alive = False
+
+    def close(self):
+        self._worker.join()
+
+
+class DeclaredGuarded:
+    """guarded-by declaration names the protecting lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._latest = None  # guarded-by: _lock
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        with self._lock:
+            self._latest = 1.0
+
+    def latest(self):
+        # Deliberately lock-free: the guarded-by declaration is the
+        # reviewed waiver the rule honours.
+        return self._latest
+
+    def close(self):
+        self._worker.join()
+
+
+class NoThreads:
+    """Mutable state, but everything runs on the caller thread."""
+
+    def __init__(self):
+        self._count = 0
+
+    def bump(self):
+        self._count += 1
+
+    def count(self):
+        return self._count

@@ -1,0 +1,53 @@
+"""REP008 positives: leaked threads and incomplete service surfaces."""
+
+import threading
+
+from repro.serve.protocol import ServiceLifecycle
+
+
+class NeverJoined:
+    """Starts a worker and has no join anywhere."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def close(self):
+        pass
+
+
+class JoinedOffPath:
+    """Joins, but only from a method nothing lifecycle-ish reaches."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def reap(self):
+        self._worker.join()
+
+
+class FireAndForget:
+    """Starts a thread it keeps no reference to: unjoinable."""
+
+    def __init__(self):
+        threading.Thread(target=self._run).start()
+
+    def _run(self):
+        pass
+
+
+class HalfService(ServiceLifecycle):
+    """Claims the lifecycle mixin but misses most of the surface."""
+
+    def submit(self, x, deadline_s=None):
+        raise NotImplementedError
+
+    def drain(self, timeout=None):
+        pass

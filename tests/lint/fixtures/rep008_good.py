@@ -1,0 +1,61 @@
+"""REP008 negatives: joined threads and complete service surfaces."""
+
+import threading
+
+from repro.serve.protocol import ServiceLifecycle
+
+
+class JoinedOnClose:
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def close(self):
+        self._worker.join()
+
+
+class JoinedViaDrain:
+    """The join sits behind a helper the drain path reaches."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+        self._worker.start()
+
+    def _run(self):
+        pass
+
+    def _stop_worker(self):
+        self._worker.join()
+
+    def drain(self, timeout=None):
+        self._stop_worker()
+
+
+class ConstructedNotStarted:
+    """Holding an unstarted Thread is fine; only started ones leak."""
+
+    def __init__(self):
+        self._worker = threading.Thread(target=self._run)
+
+    def _run(self):
+        pass
+
+
+class FullService(ServiceLifecycle):
+    def submit(self, x, deadline_s=None):
+        raise NotImplementedError
+
+    def predict(self, x, deadline_s=None, timeout=None):
+        raise NotImplementedError
+
+    def status(self):
+        return {}
+
+    def stats(self):
+        return {}
+
+    def drain(self, timeout=None):
+        pass

@@ -1,0 +1,23 @@
+"""REP009 positives: order-unstable accumulation in backend-aware kernels."""
+
+import numpy as np
+
+
+def blas_product(x, w, xp=np):
+    return x @ w
+
+
+def inplace_blas(acc, w, xp=np):
+    acc @= w
+    return acc
+
+
+def builtin_sum_reduce(blocks, xp=np):
+    return sum(blocks)
+
+
+def accumulation_loop(parts, n, xp=np):
+    total = xp.zeros(n)
+    for part in parts:
+        total += part
+    return total

@@ -1,0 +1,30 @@
+"""REP009 negatives: fixed-order reductions, or no backend parameter."""
+
+import numpy as np
+
+
+def einsum_product(x, w, xp=np):
+    return xp.einsum("ij,jk->ik", x, w)
+
+
+def stacked_reduce(parts, xp=np):
+    return xp.sum(xp.stack(parts, axis=0), axis=0)
+
+
+def batch_invariant_matmul(x, w, xp=np):
+    # The blessed helper itself is the one place allowed to spell the
+    # raw product out.
+    return x @ w
+
+
+def host_side_product(x, w):
+    # No xp/backend parameter: plain host math is out of scope.
+    return x @ w
+
+
+def scalar_accumulation(values, xp=np):
+    # '+=' on a plain float is not an array accumulation loop.
+    total = 0.0
+    for value in values:
+        total += value
+    return total

@@ -1,0 +1,29 @@
+"""REP010 positives: backend purity broken across call boundaries."""
+
+import numpy as np
+
+
+def _host_helper(x):
+    return np.exp(x)
+
+
+def _indirect_helper(x):
+    return _host_helper(x) * 2
+
+
+def _ported_helper(x, xp=np):
+    return xp.exp(x)
+
+
+def calls_numpy_helper(x, xp=np):
+    return _host_helper(x)
+
+
+def calls_numpy_transitively(x, xp=np):
+    return _indirect_helper(x)
+
+
+def drops_the_backend(x, xp=np):
+    # The callee is backend-aware but the namespace is not forwarded,
+    # so it silently falls back to numpy.
+    return _ported_helper(x)

@@ -1,0 +1,34 @@
+"""REP010 negatives: forwarded backends and host-boundary conversions."""
+
+import numpy as np
+
+
+def _host_helper(x):
+    return np.exp(x)
+
+
+def _ported_helper(x, xp=np):
+    return xp.exp(x)
+
+
+def to_numpy(x):
+    return np.asarray(x)
+
+
+def forwards_keyword(x, xp=np):
+    return _ported_helper(x, xp=xp)
+
+
+def forwards_positional(x, xp=np):
+    return _ported_helper(x, xp)
+
+
+def converts_at_boundary(x, xp=np):
+    # The host helper runs on explicitly-converted host data and the
+    # result is converted back: the sanctioned porting idiom.
+    return xp.asarray(_host_helper(to_numpy(x)))
+
+
+def host_caller(x):
+    # No backend parameter: free to use host helpers directly.
+    return _host_helper(x)

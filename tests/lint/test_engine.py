@@ -46,6 +46,78 @@ class TestSuppressions:
     def test_unknown_codes_are_dropped(self):
         smap = parse_suppressions("x = 1  # repro-lint: disable=REP999\n")
         assert smap.by_line == {}
+        assert smap.unknown == ((1, "REP999"),)
+
+    def test_multi_code_inline_directive(self):
+        # One directive, several codes: all suppressed on that line.
+        source = (
+            "import numpy as np\n"
+            "def f(items=[], xp=np):\n"
+            "    return np.einsum('i->', xp.asarray(items))"
+            "  # repro-lint: disable=REP004,REP006\n"
+        )
+        from repro.lint import lint_sources
+
+        result = lint_sources([("f.py", source)])
+        assert [v.code for v in result.violations] == ["REP004"]
+        assert [v.code for v in result.suppressed] == ["REP006"]
+
+    def test_multi_code_directive_with_spaces_and_case(self):
+        smap = parse_suppressions(
+            "x = 1  # repro-lint: disable=rep007 , REP009\n"
+        )
+        assert smap.by_line == {1: frozenset({"REP007", "REP009"})}
+        assert smap.unknown == ()
+
+    def test_unknown_code_surfaces_as_rep000(self):
+        from repro.lint import lint_sources
+
+        result = lint_sources(
+            [("f.py", "x = 1  # repro-lint: disable=REP777\n")]
+        )
+        assert [v.code for v in result.violations] == ["REP000"]
+        assert "REP777" in result.violations[0].message
+        # REP000 is never suppressible, even by disable=all.
+        result = lint_sources(
+            [("f.py", "x = 1  # repro-lint: disable=all,REP777\n")]
+        )
+        assert [v.code for v in result.violations] == ["REP000"]
+
+    def test_mixed_known_and_unknown_codes(self):
+        smap = parse_suppressions(
+            "x = 1  # repro-lint: disable=REP001,REP998\n"
+        )
+        assert smap.by_line == {1: frozenset({"REP001"})}
+        assert smap.unknown == ((1, "REP998"),)
+
+    def test_file_level_suppression_covers_cross_module_rules(self):
+        # A project-wide REP007 finding attaches to the class's file;
+        # a file-wide directive there suppresses it like any per-file
+        # rule.
+        source = (
+            "# repro-lint: disable-file=REP007\n"
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._x = 0\n"
+            "        self._t = threading.Thread(target=self._run)\n"
+            "        self._t.start()\n"
+            "    def _run(self):\n"
+            "        self._x += 1\n"
+            "    def value(self):\n"
+            "        return self._x\n"
+            "    def close(self):\n"
+            "        self._t.join()\n"
+        )
+        from repro.lint import lint_sources
+
+        clean = lint_sources([("c.py", source)])
+        assert clean.violations == ()
+        assert [v.code for v in clean.suppressed] == ["REP007"]
+        dirty = lint_sources(
+            [("c.py", source.replace("# repro-lint: disable-file=REP007\n", ""))]
+        )
+        assert [v.code for v in dirty.violations] == ["REP007"]
 
 
 class TestCli:
@@ -70,7 +142,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "rep004_bad.py:6:" in out
         assert "REP004: 6" in out
-        assert "6 violations (0 suppressed) in 1 files" in out
+        assert "6 violations (0 suppressed, 0 baselined) in 1 files" in out
 
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
@@ -120,3 +192,110 @@ class TestJsonOutput:
         main([str(FIXTURES), "--format", "json"])
         second = capsys.readouterr().out
         assert first == second
+
+
+class TestGithubFormat:
+    def test_error_annotations(self, capsys):
+        exit_code = main(
+            [str(FIXTURES / "rep005_bad.py"), "--format", "github"]
+        )
+        assert exit_code == 1
+        lines = capsys.readouterr().out.strip().splitlines()
+        errors = [ln for ln in lines if ln.startswith("::error ")]
+        assert len(errors) == 3
+        assert "file=" in errors[0]
+        assert "line=7" in errors[0]
+        assert "title=REP005" in errors[0]
+        assert errors[0].count("::") == 2  # command + data separator
+        assert lines[-1].startswith("::notice::repro-lint: 3 violations")
+
+    def test_clean_emits_only_the_notice(self, capsys):
+        assert main(
+            [str(FIXTURES / "rep001_good.py"), "--format", "github"]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("::notice::repro-lint: 0 violations")
+
+    def test_message_special_characters_are_escaped(self):
+        from repro.lint.cli import _render_github
+        from repro.lint.engine import LintResult
+        from repro.lint.violation import Violation
+
+        result = LintResult(
+            violations=(
+                Violation(
+                    path="a,b:c.py", line=1, col=1, code="REP001",
+                    message="bad\nnews: 100%",
+                ),
+            ),
+            suppressed=(),
+            files_checked=1,
+        )
+        out = _render_github(result)
+        assert "file=a%2Cb%3Ac.py" in out
+        assert "bad%0Anews: 100%25" in out
+
+
+class TestJobs:
+    def test_parallel_matches_serial(self):
+        serial = lint_paths([FIXTURES])
+        parallel = lint_paths([FIXTURES], jobs=4)
+        assert serial == parallel
+
+    def test_cli_jobs_flag(self, capsys):
+        assert main([str(FIXTURES / "rep001_good.py"), "--jobs", "2"]) == 0
+        capsys.readouterr()
+
+
+class TestBaseline:
+    def test_round_trip_masks_known_findings(self, tmp_path, capsys):
+        baseline_file = tmp_path / "baseline.json"
+        fixture = str(FIXTURES / "rep004_bad.py")
+        assert main([fixture, "--write-baseline", str(baseline_file)]) == 0
+        capsys.readouterr()
+        # With the baseline, the same findings no longer fail the run.
+        assert main(
+            [fixture, "--baseline", str(baseline_file), "--format", "json"]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["clean"] is True
+        assert doc["violations"] == []
+        assert len(doc["baselined"]) == 6
+
+    def test_new_findings_still_fail(self, tmp_path, capsys):
+        baseline_file = tmp_path / "baseline.json"
+        assert main(
+            [str(FIXTURES / "rep004_bad.py"),
+             "--write-baseline", str(baseline_file)]
+        ) == 0
+        capsys.readouterr()
+        # A file the baseline has never seen still fails.
+        assert main(
+            [str(FIXTURES / "rep004_bad.py"),
+             str(FIXTURES / "rep005_bad.py"),
+             "--baseline", str(baseline_file)]
+        ) == 1
+        capsys.readouterr()
+
+    def test_duplicate_findings_beyond_budget_fail(self, tmp_path):
+        from repro.lint import lint_sources, load_baseline, write_baseline
+        from repro.lint.violation import Violation
+
+        v = Violation(
+            path="f.py", line=1, col=1, code="REP004", message="m"
+        )
+        path = tmp_path / "b.json"
+        write_baseline(path, [v])
+        baseline = load_baseline(path)
+        assert baseline.absorb(v) is True
+        # Second identical finding exceeds the recorded count.
+        assert baseline.absorb(v) is False
+
+    def test_corrupt_baseline_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}", encoding="utf-8")
+        assert main(
+            [str(FIXTURES / "rep001_good.py"), "--baseline", str(bad)]
+        ) == 2
+        assert "baseline" in capsys.readouterr().err

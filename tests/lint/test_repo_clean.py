@@ -2,16 +2,21 @@
 
 This is the executable form of the determinism contracts: any new
 unseeded RNG, unpicklable trial callable, unstable cache key, mutable
-default or swallowed exception under ``src/repro`` fails the suite
-(and the ``repro-lint`` CI job) until fixed or explicitly suppressed.
+default, swallowed exception, unguarded cross-thread state, leaked
+worker thread, order-unstable accumulation or backend-purity break
+under ``src/repro`` fails the suite (and the ``repro-lint`` CI job)
+until fixed or explicitly suppressed.
 """
 
+import json
 from pathlib import Path
 
 import repro
 from repro.lint import lint_paths
+from repro.lint.violation import RULES
 
 SRC_ROOT = Path(repro.__file__).parent
+REPO_ROOT = Path(__file__).resolve().parents[2]
 
 
 def test_repo_lints_clean():
@@ -28,3 +33,35 @@ def test_repo_scan_covers_the_package():
     # Sanity floor so a path/discovery regression cannot silently turn
     # the clean-tree assertion into a no-op.
     assert result.files_checked > 50
+
+
+def test_concurrency_rules_are_actually_enforced():
+    # Guard against the clean-tree assertion passing because the new
+    # cross-module rules were accidentally disabled rather than because
+    # the tree is clean.
+    assert {"REP007", "REP008", "REP009", "REP010"} <= set(RULES)
+    result = lint_paths([SRC_ROOT], select=["REP007", "REP008", "REP010"])
+    # The project pass ran (it would have flagged these files before
+    # the scheduler/fleet fixes); zero findings means fixed, not off.
+    assert result.violations == ()
+    assert result.files_checked > 50
+
+
+def test_suppressions_in_tree_are_reviewed_waivers():
+    # Every inline suppression under src/repro is a deliberate,
+    # commented waiver.  This pins the count so a new suppression has
+    # to be justified here rather than slipping in silently.
+    result = lint_paths([SRC_ROOT])
+    waived = sorted(
+        (Path(v.path).name, v.code) for v in result.suppressed
+    )
+    assert waived == [("executor.py", "REP010")]
+
+
+def test_baseline_file_carries_no_hidden_debt():
+    # The shipped baseline is empty: the tree owes nothing.  If a rule
+    # lands that needs deferrals, they become visible diff here.
+    baseline_path = REPO_ROOT / "lint-baseline.json"
+    doc = json.loads(baseline_path.read_text(encoding="utf-8"))
+    assert doc["schema_version"] == 1
+    assert doc["fingerprints"] == []

@@ -140,6 +140,35 @@ class TestRep006:
         assert codes_of(exempt) == []
 
 
+class TestRep009:
+    def test_flags_raw_accumulation_forms(self):
+        result = lint_fixture("rep009_bad.py")
+        assert codes_of(result) == ["REP009"] * 4
+        assert [v.line for v in result.violations] == [7, 11, 16, 22]
+
+    def test_clean_on_einsum_and_blessed_helpers(self):
+        assert codes_of(lint_fixture("rep009_good.py")) == []
+
+    def test_backend_package_is_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def matmul(x, w, xp=np):\n"
+            "    return x @ w\n"
+        )
+        flagged = lint_sources([("src/repro/xbar/kernel.py", source)])
+        exempt = lint_sources([("src/repro/backend/core.py", source)])
+        assert codes_of(flagged) == ["REP009"]
+        assert codes_of(exempt) == []
+
+    def test_shadowed_sum_is_not_flagged(self):
+        source = (
+            "import numpy as np\n"
+            "def reduce(parts, sum, xp=np):\n"
+            "    return sum(parts)\n"
+        )
+        assert codes_of(lint_sources([("f.py", source)])) == []
+
+
 class TestSelect:
     def test_select_narrows_enforced_rules(self):
         result = lint_paths(
@@ -157,7 +186,9 @@ class TestSyntaxError:
 
 @pytest.mark.parametrize(
     "name", ["rep001_bad.py", "rep002_bad.py", "rep002_fleet_bad.py",
-             "rep003_bad.py", "rep004_bad.py", "rep005_bad.py"]
+             "rep003_bad.py", "rep004_bad.py", "rep005_bad.py",
+             "rep006_bad.py", "rep007_bad.py", "rep008_bad.py",
+             "rep009_bad.py", "rep010_bad.py"]
 )
 def test_every_positive_fixture_is_dirty(name):
     assert lint_fixture(name).violations
@@ -165,7 +196,9 @@ def test_every_positive_fixture_is_dirty(name):
 
 @pytest.mark.parametrize(
     "name", ["rep001_good.py", "rep002_good.py", "rep002_fleet_good.py",
-             "rep003_good.py", "rep004_good.py", "rep005_good.py"]
+             "rep003_good.py", "rep004_good.py", "rep005_good.py",
+             "rep006_good.py", "rep007_good.py", "rep008_good.py",
+             "rep009_good.py", "rep010_good.py"]
 )
 def test_every_negative_fixture_is_clean(name):
     assert not lint_fixture(name).violations

@@ -180,6 +180,47 @@ class TestScheduling:
         with pytest.raises(RuntimeError, match="shut down"):
             sched.submit(np.ones(4))
 
+    def test_concurrent_submit_and_shutdown_strands_no_future(self):
+        # Regression: submit() used to check _closed and enqueue in two
+        # separate steps, so a request could slip into the queue after
+        # shutdown's drain decision and hang forever.  The check+put is
+        # now atomic under the state lock: every submit either raises
+        # "shut down" or returns a future that resolves.
+        for _ in range(5):
+            engine = FakeEngine()
+            sched = BatchScheduler(engine, max_batch=4, max_queue=64)
+            start = threading.Barrier(3)
+            futures: list = []
+            errors: list = []
+
+            def submitter():
+                start.wait(timeout=5.0)
+                for _ in range(50):
+                    try:
+                        futures.append(sched.submit(np.ones(4)))
+                    except RuntimeError:
+                        errors.append("closed")
+                        return
+
+            def closer():
+                start.wait(timeout=5.0)
+                time.sleep(0.002)
+                sched.shutdown(timeout=5.0)
+
+            threads = [
+                threading.Thread(target=submitter),
+                threading.Thread(target=submitter),
+                threading.Thread(target=closer),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert not any(t.is_alive() for t in threads)
+            # Every accepted future resolves; none is stranded.
+            for f in futures:
+                assert f.result(timeout=5.0) is not None
+
     def test_engine_error_propagates_to_futures(self):
         class BrokenEngine(FakeEngine):
             def forward(self, x):
