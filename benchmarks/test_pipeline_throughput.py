@@ -1,0 +1,199 @@
+"""Served pipelines: accuracy, recall and throughput under variation.
+
+Programs two pipelines on a varied fabric (sigma = 0.3, real wire
+resistance) and appends one entry to the ``BENCH_pipeline.json``
+trajectory:
+
+* **MLP classification** -- a 196 -> 24 -> 10 classifier served as a
+  two-layer pipeline.  For each read model (ideal, fixed_point, nodal)
+  the served accuracy, throughput, and offline bit-identity are
+  recorded: the accuracy-vs-throughput curve the serving story trades
+  along, with every point checked float for float against the offline
+  :class:`~repro.nn.mlp.MLPOnCrossbars` deployment of the same
+  restored hardware.
+* **BSB recall** -- a 196x196 auto-associative layer recalling noisy
+  prototype probes through the served phase-split loop.  The recall
+  success rate under variation, mean iterations, and probe throughput
+  are recorded, with the served states checked bit for bit against the
+  offline :func:`~repro.nn.bsb.bsb_recall` hardware loop.
+
+Throughput numbers are recorded unconditionally and never asserted --
+wall-clock on a shared runner is not a contract -- but every
+bit-identity check is.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.bsb import bsb_recall, noisy_probe
+from repro.nn.mlp import MLPOnCrossbars
+from repro.pipeline import (
+    PipelineConfig,
+    PipelineService,
+    offline_engine,
+    program_pipeline,
+)
+
+BENCH_PATH = (
+    Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+)
+
+IR_CURVE = ("ideal", "fixed_point", "nodal")
+N_TEST = 48
+FLIP_FRACTION = 0.15
+PROBES_PER_PROTOTYPE = 6
+SEED = 42
+
+
+def run_mlp_curve() -> dict:
+    config = PipelineConfig(
+        kind="mlp", image_size=14, n_train=300, hidden=24, epochs=100,
+        sigma=0.3, r_wire=2.5, tile_rows=49, seed=SEED,
+        ir_mode="ideal", n_probes=8,
+    )
+    dataset = config.dataset()
+    artifact = program_pipeline(config, dataset=dataset)
+    x = dataset.x_test[:N_TEST]
+    y = dataset.y_test[:N_TEST]
+    weights = artifact.mlp_weights()
+    reference = MLPOnCrossbars(
+        weights,
+        artifact.layers[0].build_tiled(),
+        artifact.layers[1].build_tiled(),
+        hidden_gain=artifact.hidden_gain,
+    )
+    curve = []
+    for ir_mode in IR_CURVE:
+        offline = offline_engine(artifact, ir_mode=ir_mode).forward(x)
+        # Both deployments of the same snapshot agree float for float.
+        assert np.array_equal(offline, reference.scores(x, ir_mode))
+        with PipelineService(artifact, ir_mode=ir_mode) as service:
+            service.predict(x[0], timeout=120.0)  # warm solver caches
+            t0 = time.perf_counter()
+            served = service.forward(x, timeout=120.0)
+            elapsed = time.perf_counter() - t0
+            assert np.array_equal(served, offline)
+            assert service.status()["deadline_misses"] == 0
+        curve.append({
+            "ir_mode": ir_mode,
+            "accuracy": float(
+                np.mean(np.argmax(served, axis=1) == y)
+            ),
+            "queries_per_second": round(N_TEST / elapsed, 1),
+            "bit_identical": True,
+        })
+    return {
+        "config": {
+            "image_size": config.image_size, "hidden": config.hidden,
+            "sigma": config.sigma, "r_wire": config.r_wire,
+            "tile_rows": config.tile_rows,
+        },
+        "n_test": N_TEST,
+        "software_accuracy": weights.accuracy(x, y),
+        "curve": curve,
+    }
+
+
+def run_bsb_recall() -> dict:
+    config = PipelineConfig(
+        kind="bsb", image_size=14, n_train=300, n_prototypes=4,
+        sigma=0.3, r_wire=2.5, tile_rows=49, seed=SEED + 1,
+        ir_mode="ideal",
+    )
+    artifact = program_pipeline(config, dataset=config.dataset())
+    protos = artifact.prototypes
+    rng = np.random.default_rng(SEED + 2)
+    probes = np.stack([
+        noisy_probe(p, FLIP_FRACTION, rng)
+        for p in protos
+        for _ in range(PROBES_PER_PROTOTYPE)
+    ])
+    sources = np.repeat(
+        np.arange(protos.shape[0]), PROBES_PER_PROTOTYPE
+    )
+
+    # Offline reference: the bipolar hardware loop over the same tiles.
+    tiled = artifact.layers[0].build_tiled()
+    scale = artifact.scales[0]
+
+    def hw_matvec(v):
+        pos = tiled.matvec(np.clip(v, 0.0, 1.0), config.ir_mode)
+        neg = tiled.matvec(np.clip(-v, 0.0, 1.0), config.ir_mode)
+        return (pos - neg) * scale
+
+    expected = [
+        bsb_recall(p, artifact.bsb_dynamics(), matvec=hw_matvec)
+        for p in probes
+    ]
+    with PipelineService(artifact) as service:
+        service.predict(probes[0], timeout=120.0)
+        t0 = time.perf_counter()
+        futures = [service.submit(p) for p in probes]
+        served = np.stack(
+            [f.result(timeout=120.0) for f in futures]
+        )
+        elapsed = time.perf_counter() - t0
+        recall_stats = service.engine.recall_stats()
+    for got, ref in zip(served, expected):
+        assert np.array_equal(got, ref.state)
+
+    signs = np.sign(served)
+    agreements = (signs[:, None, :] == protos[None, :, :]).mean(axis=2)
+    own = agreements[np.arange(len(probes)), sources]
+    hits = (own >= 0.95) & (own >= agreements.max(axis=1) - 1e-12)
+    return {
+        "config": {
+            "image_size": config.image_size,
+            "n_prototypes": config.n_prototypes,
+            "sigma": config.sigma, "r_wire": config.r_wire,
+            "tile_rows": config.tile_rows,
+        },
+        "n_probes": int(len(probes)),
+        "flip_fraction": FLIP_FRACTION,
+        "recall_success_rate": float(np.mean(hits)),
+        "mean_iterations": round(recall_stats["mean_iterations"], 2),
+        "probes_per_second": round(len(probes) / elapsed, 1),
+        "bit_identical": True,
+    }
+
+
+def test_pipeline_throughput():
+    mlp = run_mlp_curve()
+    bsb = run_bsb_recall()
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count() or 1,
+        "mlp": mlp,
+        "bsb": bsb,
+    }
+    trajectory = {"runs": []}
+    if BENCH_PATH.exists():
+        try:
+            trajectory = json.loads(
+                BENCH_PATH.read_text(encoding="utf-8")
+            )
+        except json.JSONDecodeError:
+            pass
+    trajectory.setdefault("runs", []).append(entry)
+    BENCH_PATH.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+
+    print()
+    print("=== served pipelines (sigma=0.3, r_wire=2.5) ===")
+    print(f"software accuracy  {mlp['software_accuracy']:.3f} "
+          f"(n={mlp['n_test']})")
+    for point in mlp["curve"]:
+        print(f"mlp {point['ir_mode']:<12} acc {point['accuracy']:.3f}  "
+              f"{point['queries_per_second']:8.1f} q/s  bit-identical")
+    print(f"bsb recall rate    {bsb['recall_success_rate']:.3f} at "
+          f"flip {bsb['flip_fraction']} "
+          f"({bsb['probes_per_second']:.1f} probes/s, "
+          f"mean {bsb['mean_iterations']} iters, bit-identical)")
+    print(f"trajectory         {BENCH_PATH}")

@@ -303,6 +303,96 @@ def build_parser() -> argparse.ArgumentParser:
     fstatus.add_argument("--fleet", type=str, required=True)
     fstatus.add_argument("--replicas", type=int, default=2)
 
+    pipeline = sub.add_parser(
+        "pipeline",
+        help=(
+            "program and serve multi-layer inference pipelines "
+            "(MLP classification, BSB associative recall)"
+        ),
+    )
+    pipeline_sub = pipeline.add_subparsers(
+        dest="pipeline_command", required=True
+    )
+
+    pprogram = pipeline_sub.add_parser(
+        "program",
+        help=(
+            "train, layer-program and snapshot a pipeline into the "
+            "artifact cache (prints the pipeline key)"
+        ),
+    )
+    _add_programming_options(pprogram, image_size_default=7,
+                             sigma_default=0.15)
+    pprogram.add_argument(
+        "--kind", choices=("mlp", "bsb"), default="mlp",
+        help="workload: two-layer classifier or associative recall",
+    )
+    pprogram.add_argument(
+        "--hidden", type=int, default=32,
+        help="MLP hidden-layer width",
+    )
+    pprogram.add_argument(
+        "--epochs", type=int, default=200,
+        help="MLP training epochs",
+    )
+    pprogram.add_argument(
+        "--n-prototypes", type=int, default=4,
+        help="stored BSB patterns (one per digit class)",
+    )
+    pprogram.add_argument(
+        "--tile-rows", type=int, default=32,
+        help="rows per shard in every layer's fleet",
+    )
+    pprogram.add_argument("--n-probes", type=int, default=16)
+
+    pserve = pipeline_sub.add_parser(
+        "serve", help="serve inference requests from a pipeline snapshot"
+    )
+    pserve.add_argument(
+        "--cache-dir", type=str, required=True,
+        help="artifact cache directory holding the pipeline",
+    )
+    pserve.add_argument(
+        "--pipeline", type=str, required=True,
+        help="pipeline key printed by `repro pipeline program`",
+    )
+    pserve.add_argument(
+        "--replicas", type=int, default=1,
+        help="serving copies per shard, in every layer",
+    )
+    _add_serving_options(pserve)
+
+    peval = pipeline_sub.add_parser(
+        "eval",
+        help=(
+            "evaluate a pipeline snapshot end to end: served accuracy "
+            "(MLP) or recall success rate (BSB), checked bit-for-bit "
+            "against the offline reference"
+        ),
+    )
+    peval.add_argument("--cache-dir", type=str, required=True)
+    peval.add_argument(
+        "--pipeline", type=str, required=True,
+        help="pipeline key printed by `repro pipeline program`",
+    )
+    peval.add_argument("--replicas", type=int, default=1)
+    peval.add_argument(
+        "--ir-mode", choices=_IR_MODE_CHOICES, default=None,
+        help="override the snapshot's read model",
+    )
+    peval.add_argument(
+        "--n-test", type=int, default=200,
+        help="test queries served (MLP)",
+    )
+    peval.add_argument(
+        "--flip-fraction", type=float, default=0.1,
+        help="noise level of the BSB recall probes",
+    )
+    peval.add_argument(
+        "--probes-per-prototype", type=int, default=8,
+        help="noisy probes recalled per stored BSB pattern",
+    )
+
     cache = sub.add_parser(
         "cache", help="inspect or prune the artifact cache"
     )
@@ -677,6 +767,172 @@ def _run_fleet(args: argparse.Namespace) -> int:
         service.close()
 
 
+def _run_pipeline_program(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.pipeline import (
+        PipelineArtifact,
+        PipelineConfig,
+        pipeline_key,
+        program_pipeline,
+    )
+    from repro.runtime.cache import ArtifactCache
+
+    config = PipelineConfig(
+        kind=args.kind,
+        image_size=args.image_size,
+        n_train=args.n_train,
+        hidden=args.hidden,
+        epochs=args.epochs,
+        n_prototypes=args.n_prototypes,
+        sigma=args.sigma,
+        r_wire=args.r_wire,
+        tile_rows=args.tile_rows,
+        seed=args.seed,
+        ir_mode=args.ir_mode,
+        n_probes=args.n_probes,
+        backend=args.backend,
+    )
+    cache = ArtifactCache(args.cache_dir)
+    key = pipeline_key(config)
+    try:
+        artifact = PipelineArtifact.load(cache, key)
+        status = "cached"
+    except KeyError:
+        artifact = program_pipeline(config, cache=cache)
+        status = "programmed"
+    print(json.dumps({
+        "key": key,
+        "status": status,
+        "kind": config.kind,
+        "n_layers": artifact.n_layers,
+        "shapes": [list(shape) for shape in artifact.shapes],
+        "scales": artifact.scales,
+        "hidden_gain": artifact.hidden_gain,
+        "ir_mode": config.ir_mode,
+    }, indent=2, sort_keys=True))
+    return 0
+
+
+def _build_pipeline_service(args: argparse.Namespace, replicas: int):
+    from repro.pipeline import PipelineArtifact, PipelineService
+    from repro.runtime.cache import ArtifactCache
+    from repro.serve import DriftPolicy
+
+    cache = ArtifactCache(args.cache_dir)
+    artifact = PipelineArtifact.load(cache, args.pipeline)
+    policy = None
+    if hasattr(args, "drift_threshold"):
+        policy = DriftPolicy(
+            threshold=args.drift_threshold,
+            check_every=args.check_every,
+        )
+    deadline = getattr(args, "deadline_ms", None)
+    return PipelineService(
+        artifact,
+        replicas=replicas,
+        ir_mode=getattr(args, "ir_mode", None),
+        policy=policy,
+        max_batch=getattr(args, "max_batch", 32),
+        max_queue=getattr(args, "max_queue", 256),
+        default_deadline_s=None if deadline is None else deadline / 1e3,
+        backend=_resolve_cli_backend(getattr(args, "backend", None)),
+    )
+
+
+def _run_pipeline_eval(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.nn.bsb import noisy_probe
+    from repro.pipeline import offline_engine
+
+    service = _build_pipeline_service(args, args.replicas)
+    artifact = service.artifact
+    config = artifact.config
+    try:
+        reference = offline_engine(artifact, ir_mode=args.ir_mode)
+        dataset = config.dataset()
+        if config.kind == "mlp":
+            x = dataset.x_test[: args.n_test]
+            y = dataset.y_test[: args.n_test]
+            start = time.perf_counter()
+            served = service.forward(x, timeout=120.0)
+            elapsed = time.perf_counter() - start
+            offline = reference.forward(x)
+            weights = artifact.mlp_weights()
+            result = {
+                "kind": "mlp",
+                "n_test": int(len(y)),
+                "accuracy": float(
+                    np.mean(np.argmax(served, axis=1) == y)
+                ),
+                "software_accuracy": weights.accuracy(x, y),
+                "bit_identical": bool(np.array_equal(served, offline)),
+                "queries_per_second": (
+                    len(y) / elapsed if elapsed > 0 else 0.0
+                ),
+            }
+        else:
+            protos = artifact.prototypes
+            rng = np.random.default_rng(config.seed + 1)
+            probes = np.stack([
+                noisy_probe(p, args.flip_fraction, rng)
+                for p in protos
+                for _ in range(args.probes_per_prototype)
+            ])
+            sources = np.repeat(
+                np.arange(protos.shape[0]), args.probes_per_prototype
+            )
+            start = time.perf_counter()
+            served = service.forward(probes, timeout=300.0)
+            elapsed = time.perf_counter() - start
+            offline = reference.forward(probes)
+            signs = np.sign(served)
+            agreements = (
+                signs[:, None, :] == protos[None, :, :]
+            ).mean(axis=2)
+            own = agreements[np.arange(len(probes)), sources]
+            hits = (own >= 0.95) & (
+                own >= agreements.max(axis=1) - 1e-12
+            )
+            result = {
+                "kind": "bsb",
+                "n_probes": int(len(probes)),
+                "flip_fraction": args.flip_fraction,
+                "recall_success_rate": float(np.mean(hits)),
+                "bit_identical": bool(np.array_equal(served, offline)),
+                "recall": service.engine.recall_stats(),
+                "probes_per_second": (
+                    len(probes) / elapsed if elapsed > 0 else 0.0
+                ),
+            }
+        result["ir_mode"] = (
+            args.ir_mode if args.ir_mode is not None else config.ir_mode
+        )
+        result["deadline_misses"] = service.status()["deadline_misses"]
+        print(json.dumps(result, indent=2, sort_keys=True))
+    finally:
+        service.close()
+    return 0
+
+
+def _run_pipeline(args: argparse.Namespace) -> int:
+    import json
+
+    if args.pipeline_command == "program":
+        return _run_pipeline_program(args)
+    if args.pipeline_command == "eval":
+        return _run_pipeline_eval(args)
+    service = _build_pipeline_service(args, args.replicas)
+    try:
+        if args.stdin:
+            return _serve_stdin(service)
+        return _serve_http(service, args.port)
+    finally:
+        service.close()
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     import json
 
@@ -706,6 +962,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "fleet":
         return _run_fleet(args)
+    if args.command == "pipeline":
+        return _run_pipeline(args)
     if args.command == "cache":
         return _run_cache(args)
     return 2  # pragma: no cover - argparse enforces the choices

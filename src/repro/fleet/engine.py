@@ -65,6 +65,10 @@ class ShardReplica:
         log: Telemetry sink shared with the rest of the fleet.
         backend: Array namespace for the replica's reads (``None``
             adopts the shard artifact's recorded default).
+        name_prefix: Prepended to the replica name (and thus its
+            telemetry lane label).  A multi-fleet composition such as
+            ``repro.pipeline`` uses ``"layer<k>/"`` so one shared run
+            log keeps the per-layer lanes apart.
     """
 
     def __init__(
@@ -81,11 +85,12 @@ class ShardReplica:
         min_retry_after_s: float = 0.05,
         log: RunLog | None = None,
         backend: ArrayBackend | str | None = None,
+        name_prefix: str = "",
     ):
         self.artifact = artifact
         self.shard_index = int(shard_index)
         self.replica_index = int(replica_index)
-        self.name = f"shard{shard_index}/r{replica_index}"
+        self.name = f"{name_prefix}shard{shard_index}/r{replica_index}"
         ambient = current_run_log()
         self.log = log if log is not None else (
             ambient if ambient is not None else RunLog()

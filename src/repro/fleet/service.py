@@ -55,6 +55,9 @@ class FleetService(ServiceLifecycle):
             when omitted.
         backend: Array namespace every replica reads with; ``None``
             adopts the fleet plan's recorded serving default.
+        label_prefix: Prepended to every replica's telemetry lane
+            label (``repro.pipeline`` passes ``"layer<k>/"`` so one
+            shared run log splits per layer).
     """
 
     def __init__(
@@ -71,11 +74,13 @@ class FleetService(ServiceLifecycle):
         min_live: int = 1,
         log: RunLog | None = None,
         backend: ArrayBackend | str | None = None,
+        label_prefix: str = "",
     ):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.fleet = fleet
         self.replicas = int(replicas)
+        self.label_prefix = str(label_prefix)
         self.policy = policy if policy is not None else DriftPolicy()
         ambient = current_run_log()
         self.log = log if log is not None else (
@@ -101,6 +106,7 @@ class FleetService(ServiceLifecycle):
                         min_retry_after_s=min_retry_after_s,
                         log=self.log,
                         backend=backend,
+                        name_prefix=self.label_prefix,
                     )
                     for r in range(self.replicas)
                 ],
@@ -163,6 +169,7 @@ class FleetService(ServiceLifecycle):
                     "alive": r.alive,
                     "draining": r.draining,
                     "depth": r.depth,
+                    "deadline_misses": r.scheduler.deadline_misses,
                     "discrepancy": (
                         round(r.monitor.discrepancy(), 6)
                         if r.alive else None

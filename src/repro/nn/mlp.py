@@ -121,13 +121,20 @@ class MLPOnCrossbars:
         layer1: Differential pair (or tiled pair) with
             ``shape == w1.shape``; programmed by :meth:`program`.
         layer2: Differential pair with ``shape == w2.shape``.
+        hidden_gain: Inter-layer digital gain.  Defaults to 1.0 and is
+            normally calibrated by :meth:`program`; pass the recorded
+            gain when the layers are *restored* snapshots of hardware
+            that was already programmed and calibrated (no
+            :meth:`program` call), e.g. when rebuilding the offline
+            reference of a served pipeline.
 
     Both pairs carry their own fabrication variation; the deployment
     programs them with the usual global normalisation per layer and
     restores the scales digitally around the ReLU.
     """
 
-    def __init__(self, weights: MLPWeights, layer1, layer2):
+    def __init__(self, weights: MLPWeights, layer1, layer2,
+                 hidden_gain: float = 1.0):
         self.weights = weights
         if tuple(layer1.shape) != weights.w1.shape:
             raise ValueError(
@@ -141,7 +148,22 @@ class MLPOnCrossbars:
         self.layer2 = layer2
         self._scale1 = float(np.max(np.abs(weights.w1))) or 1.0
         self._scale2 = float(np.max(np.abs(weights.w2))) or 1.0
-        self._hidden_gain = 1.0
+        self._hidden_gain = float(hidden_gain)
+
+    @property
+    def scale1(self) -> float:
+        """Digital restore gain of layer 1 (``max |w1|``)."""
+        return self._scale1
+
+    @property
+    def scale2(self) -> float:
+        """Digital restore gain of layer 2 (``max |w2|``)."""
+        return self._scale2
+
+    @property
+    def hidden_gain(self) -> float:
+        """Calibrated inter-layer digital gain."""
+        return self._hidden_gain
 
     def program(self, x_calibration: np.ndarray | None = None) -> None:
         """Program both layers and calibrate the inter-layer gain.

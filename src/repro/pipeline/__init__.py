@@ -1,0 +1,42 @@
+"""Multi-layer inference pipelines served as first-class traffic.
+
+Composes programmed crossbar tiles into end-to-end analog inference
+programs — MNIST-like MLP classification and BSB associative recall —
+on top of the fleet serving plane: program once
+(:func:`~repro.pipeline.plan.program_pipeline`), snapshot bit-exactly
+(:class:`~repro.pipeline.plan.PipelineArtifact`), serve staged
+(:class:`~repro.pipeline.service.PipelineService`).
+"""
+
+from repro.pipeline.engine import (
+    DirectLane,
+    PipelineEngine,
+    offline_engine,
+    stage_activation,
+)
+from repro.pipeline.plan import (
+    PIPELINE_KINDS,
+    PipelineArtifact,
+    PipelineConfig,
+    bsb_prototypes,
+    pipeline_key,
+    program_pipeline,
+    trained_weights_key,
+)
+from repro.pipeline.service import PipelineService, Service
+
+__all__ = [
+    "PIPELINE_KINDS",
+    "DirectLane",
+    "PipelineArtifact",
+    "PipelineConfig",
+    "PipelineEngine",
+    "PipelineService",
+    "Service",
+    "bsb_prototypes",
+    "offline_engine",
+    "pipeline_key",
+    "program_pipeline",
+    "stage_activation",
+    "trained_weights_key",
+]

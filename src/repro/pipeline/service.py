@@ -1,0 +1,272 @@
+"""The pipeline facade: programmed layer stack in, served workload out.
+
+:class:`PipelineService` composes one
+:class:`~repro.fleet.service.FleetService` per programmed layer —
+every layer gets its own sharded, replicated, drift-monitored serving
+plane, labelled ``layer<k>/shard<i>/r<j>`` in the shared run log — and
+fronts them with a :class:`~repro.pipeline.engine.PipelineEngine` that
+chains the stages (or iterates the recall loop) through future
+callbacks.  It implements the shared
+:class:`~repro.serve.protocol.Service` protocol, so the generic CLI
+front ends (stdin/HTTP) and the lifecycle contract (drain-on-close)
+apply unchanged.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+from repro.backend import ArrayBackend
+from repro.fleet.service import FleetService
+from repro.nn.bsb import BSBResult
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.plan import PipelineArtifact
+from repro.runtime.telemetry import (
+    FleetEvent,
+    RunLog,
+    current_run_log,
+)
+from repro.serve.health import DriftPolicy
+from repro.serve.protocol import Service, ServiceLifecycle
+
+__all__ = ["PipelineService", "Service"]
+
+
+class PipelineService(ServiceLifecycle):
+    """Multi-layer analog inference as one routed service.
+
+    Implements the :class:`~repro.serve.protocol.Service` protocol.
+
+    Args:
+        artifact: The programmed pipeline to serve.
+        replicas: Serving copies per shard, in every layer.
+        ir_mode: Read-model override (the artifact's mode when
+            ``None``).
+        policy: Drift policy shared by every replica monitor.
+        max_batch / max_queue / min_retry_after_s: Per-replica
+            scheduler parameters.
+        default_deadline_s: Deadline applied to pipeline queries that
+            do not carry their own; the budget spans the whole staged
+            chain (each stage consumes from what remains).
+        microbatch: Per-replica engine microbatch size.
+        min_live: Quorum for rolling recovery, per layer.
+        log: Telemetry sink shared by every layer; the ambient run log
+            (or a private one) when omitted.
+        backend: Array namespace every replica reads with; ``None``
+            adopts the pipeline's recorded serving default.
+    """
+
+    def __init__(
+        self,
+        artifact: PipelineArtifact,
+        replicas: int = 1,
+        ir_mode: str | None = None,
+        policy: DriftPolicy | None = None,
+        max_batch: int = 32,
+        max_queue: int = 256,
+        default_deadline_s: float | None = None,
+        microbatch: int = 64,
+        min_retry_after_s: float = 0.05,
+        min_live: int = 1,
+        log: RunLog | None = None,
+        backend: ArrayBackend | str | None = None,
+    ):
+        self.artifact = artifact
+        self.kind = artifact.config.kind
+        self.ir_mode = (
+            ir_mode if ir_mode is not None else artifact.config.ir_mode
+        )
+        self.default_deadline_s = default_deadline_s
+        ambient = current_run_log()
+        self.log = log if log is not None else (
+            ambient if ambient is not None else RunLog()
+        )
+        if backend is None:
+            backend = artifact.config.backend
+        self.backend = backend
+        self.layer_services = [
+            FleetService(
+                fleet,
+                replicas=replicas,
+                ir_mode=self.ir_mode,
+                policy=policy,
+                max_batch=max_batch,
+                max_queue=max_queue,
+                # Deadlines live at the pipeline level: the engine
+                # passes each stage the remaining chain budget.
+                default_deadline_s=None,
+                microbatch=microbatch,
+                min_retry_after_s=min_retry_after_s,
+                min_live=min_live,
+                log=self.log,
+                backend=backend,
+                label_prefix=f"layer{i}/",
+            )
+            for i, fleet in enumerate(artifact.layers)
+        ]
+        self.engine = PipelineEngine(
+            lanes=self.layer_services,
+            scales=artifact.scales,
+            kind=self.kind,
+            hidden_gain=artifact.hidden_gain,
+            dynamics=(
+                artifact.bsb_dynamics() if self.kind == "bsb" else None
+            ),
+        )
+
+    # -- request path --------------------------------------------------
+    def submit(
+        self, x: np.ndarray, deadline_s: float | None = None
+    ) -> concurrent.futures.Future:
+        """Start one query through the staged chain.
+
+        The future resolves to the score vector (MLP) or the recalled
+        state vector (BSB).
+        """
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self.engine.submit(x, deadline_s)
+
+    def predict(
+        self,
+        x: np.ndarray,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> np.ndarray:
+        """Synchronous single-query result vector."""
+        return self.submit(x, deadline_s).result(timeout=timeout)
+
+    def forward(
+        self, x: np.ndarray, timeout: float | None = None
+    ) -> np.ndarray:
+        """Run a whole batch through the chain, one query per row."""
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        xb = x[None, :] if single else x
+        futures = [self.submit(row) for row in xb]
+        out = np.stack(
+            [f.result(timeout=timeout) for f in futures], axis=0
+        )
+        return out[0] if single else out
+
+    def recall(
+        self,
+        probe: np.ndarray,
+        deadline_s: float | None = None,
+        timeout: float | None = None,
+    ) -> BSBResult:
+        """Run one BSB recall to convergence through the served layer."""
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        return self.engine.submit_recall(probe, deadline_s).result(
+            timeout=timeout
+        )
+
+    # -- health --------------------------------------------------------
+    def kill_replica(
+        self, layer: int, shard: int, replica: int
+    ) -> None:
+        """Crash one replica (testing/benchmark failure injection)."""
+        self.layer_services[layer].kill_replica(shard, replica)
+
+    def run_recovery_cycle(self) -> dict[str, list[FleetEvent]]:
+        """One rolling scan-and-reprogram pass over every layer."""
+        return {
+            f"layer{i}": service.run_recovery_cycle()
+            for i, service in enumerate(self.layer_services)
+        }
+
+    def status(self) -> dict:
+        """Deterministic pipeline inventory with per-lane counters.
+
+        ``queues`` maps every replica lane label to its live queue
+        depth and deadline-miss count, across all layers — the
+        observable the scheduler satellite exposes.  Layer entries
+        carry the full per-shard fleet inventory (a status call costs
+        one probe read per live replica).
+        """
+        queues: dict[str, dict] = {}
+        layers = []
+        for i, service in enumerate(self.layer_services):
+            layer_status = service.status()
+            layers.append({
+                "layer": i,
+                "shape": list(self.artifact.shapes[i]),
+                "scale": self.artifact.scales[i],
+                **layer_status,
+            })
+            for shard in layer_status["shards"]:
+                for lane in shard["replicas"]:
+                    queues[lane["name"]] = {
+                        "depth": lane["depth"],
+                        "deadline_misses": lane["deadline_misses"],
+                    }
+        status = {
+            "kind": self.kind,
+            "n_layers": self.artifact.n_layers,
+            "ir_mode": self.ir_mode,
+            "backend": layers[0]["backend"] if layers else "numpy",
+            "hidden_gain": self.artifact.hidden_gain,
+            "activation": self.artifact.activation,
+            "layers": layers,
+            "queues": queues,
+            "deadline_misses": sum(
+                q["deadline_misses"] for q in queues.values()
+            ),
+        }
+        if self.kind == "bsb":
+            status["recall"] = self.engine.recall_stats()
+        return status
+
+    def stats(self) -> dict:
+        """Pipeline-wide serving telemetry with a per-stage breakdown.
+
+        ``stages`` aggregates the shared run log's labelled request
+        records by layer prefix (requests, drops, mean latency per
+        layer); ``lanes`` keeps the full per-replica split.
+        """
+        summary = self.log.serve_summary()
+        labels = self.log.label_summary()
+        if labels:
+            summary["lanes"] = labels
+        stages: dict[str, dict] = {}
+        for label in sorted(labels):
+            prefix = label.split("/", 1)[0]
+            stage = stages.setdefault(prefix, {
+                "requests": 0, "answered": 0, "dropped": 0,
+                "latency_weight": 0.0,
+            })
+            lane = labels[label]
+            stage["requests"] += lane["requests"]
+            stage["answered"] += lane["answered"]
+            stage["dropped"] += lane["dropped"]
+            stage["latency_weight"] += (
+                lane["mean_latency_s"] * lane["answered"]
+            )
+        summary["stages"] = {
+            name: {
+                "requests": s["requests"],
+                "answered": s["answered"],
+                "dropped": s["dropped"],
+                "mean_latency_s": (
+                    s["latency_weight"] / s["answered"]
+                    if s["answered"] else 0.0
+                ),
+            }
+            for name, s in sorted(stages.items())
+        }
+        if self.kind == "bsb":
+            summary["recall"] = self.engine.recall_stats()
+        return summary
+
+    # -- lifecycle (close/shutdown/context from ServiceLifecycle) ------
+    def drain(self, timeout: float | None = None) -> None:
+        """Drain every replica of every layer, front to back.
+
+        Front-to-back order lets queries already past layer ``k``
+        finish on the layers behind it before those drain.
+        """
+        for service in self.layer_services:
+            service.drain(timeout)

@@ -124,14 +124,16 @@ class BatchScheduler:
         )
         self._queue: queue.Queue = queue.Queue(maxsize=self.max_queue)
         # One lock guards everything the submitter and the worker
-        # thread both touch: the intake flag, the throughput EMA and
-        # the served-batch counter.  Critically, the closed check and
+        # thread both touch: the intake flag, the throughput EMA, the
+        # served-batch counter and the deadline-miss counter.
+        # Critically, the closed check and
         # the enqueue happen under the same acquisition in submit(),
         # and shutdown() flips the flag under it before posting the
         # sentinel — so no accepted request can ever land behind the
         # sentinel and be stranded.
         self._state = make_lock("scheduler-state")
         self.batches_served = 0
+        self._deadline_misses = 0
         self._closed = False
         # EMA of per-batch wall time; None until the first batch lands
         # so cold-start backpressure can fall back to the floor.
@@ -187,6 +189,12 @@ class BatchScheduler:
     def depth(self) -> int:
         """Current queue depth (the fleet router's load signal)."""
         return self._queue.qsize()
+
+    @property
+    def deadline_misses(self) -> int:
+        """Requests dropped because their deadline passed while queued."""
+        with self._state:
+            return self._deadline_misses
 
     def predict(
         self,
@@ -246,6 +254,8 @@ class BatchScheduler:
                         f"({start - request.submitted:.3f}s)"
                     )
                 )
+                with self._state:
+                    self._deadline_misses += 1
                 self.log.record_request(
                     latency_s=start - request.submitted,
                     queue_s=start - request.submitted,

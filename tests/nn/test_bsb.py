@@ -8,10 +8,24 @@ import pytest
 from repro.nn.bsb import (
     BSBConfig,
     bsb_recall,
+    bsb_recall_batch,
     noisy_probe,
     recall_success_rate,
     train_bsb_weights,
 )
+from repro.runtime.executor import parallel_map
+
+
+def _rate_for_seed(seed: int) -> float:
+    """Pure per-seed success rate (picklable for parallel_map)."""
+    rng = np.random.default_rng(seed)
+    protos = np.sign(rng.standard_normal((4, 64)))
+    protos[protos == 0] = 1.0
+    w = train_bsb_weights(protos)
+    return recall_success_rate(
+        protos, 0.2, np.random.default_rng(seed + 1), weights=w,
+        probes_per_prototype=4,
+    )
 
 
 @pytest.fixture
@@ -73,6 +87,50 @@ class TestRecall:
         )
         assert not result.converged
         assert result.iterations == 1
+
+
+class TestBatchedRecall:
+    def test_batch_matches_looped_recall_bit_for_bit(
+        self, prototypes, rng
+    ):
+        # Light and heavy noise together: rows that converge at
+        # different iterations (and some not at all) must each freeze
+        # exactly where the one-probe loop would have stopped them.
+        w = train_bsb_weights(prototypes)
+        probes = np.stack([
+            noisy_probe(p, flip, rng)
+            for p in prototypes
+            for flip in (0.05, 0.2, 0.45)
+        ])
+        batched = bsb_recall_batch(probes, weights=w)
+        for probe, got in zip(probes, batched):
+            expected = bsb_recall(probe, weights=w)
+            assert np.array_equal(got.state, expected.state)
+            assert got.iterations == expected.iterations
+            assert got.converged == expected.converged
+
+    def test_requires_exactly_one_operator(self, prototypes):
+        with pytest.raises(ValueError, match="exactly one"):
+            bsb_recall_batch(prototypes)
+
+    def test_success_rate_deterministic_for_fixed_seed(
+        self, prototypes
+    ):
+        w = train_bsb_weights(prototypes)
+        runs = [
+            recall_success_rate(
+                prototypes, 0.2, np.random.default_rng(42),
+                weights=w, probes_per_prototype=6,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_success_rate_independent_of_jobs(self):
+        seeds = [3, 4, 5]
+        serial = parallel_map(_rate_for_seed, seeds, jobs=1)
+        parallel = parallel_map(_rate_for_seed, seeds, jobs=2)
+        assert serial == parallel
 
 
 class TestNoisyProbe:

@@ -99,3 +99,30 @@ class TestMLPOnCrossbars:
         )
         deploy.program(ds.x_train[:100])
         assert deploy.scores(ds.x_test[:7]).shape == (7, 10)
+
+    def test_batched_scores_match_per_sample_reads(self, trained):
+        # Both layer reads are batch-invariant, so scoring a batch in
+        # one pass equals scoring each sample alone, bit for bit.
+        ds, mlp = trained
+        n, h = mlp.w1.shape
+        deploy = MLPOnCrossbars(
+            mlp,
+            make_pair(n, h, sigma=0.2, seed=7),
+            make_pair(h, 10, sigma=0.2, seed=8),
+        )
+        deploy.program(ds.x_train[:100])
+        x = ds.x_test[:9]
+        batch = deploy.scores(x)
+        for i, row in enumerate(x):
+            assert np.array_equal(deploy.scores(row)[0], batch[i])
+
+    def test_restored_snapshot_gain_is_honoured(self, trained):
+        ds, mlp = trained
+        n, h = mlp.w1.shape
+        deploy = MLPOnCrossbars(
+            mlp, make_pair(n, h), make_pair(h, 10, seed=1),
+            hidden_gain=0.25,
+        )
+        assert deploy.hidden_gain == 0.25
+        assert deploy.scale1 == float(np.max(np.abs(mlp.w1)))
+        assert deploy.scale2 == float(np.max(np.abs(mlp.w2)))

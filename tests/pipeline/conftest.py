@@ -1,0 +1,38 @@
+"""Shared pipeline fixtures: small programmed stacks, built once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import PipelineConfig, program_pipeline
+
+MLP_CONFIG = PipelineConfig(
+    kind="mlp", image_size=7, n_train=120, hidden=12, epochs=40,
+    sigma=0.2, tile_rows=20, seed=3, n_probes=8,
+)
+BSB_CONFIG = PipelineConfig(
+    kind="bsb", image_size=7, n_train=120, n_prototypes=4,
+    sigma=0.2, tile_rows=25, seed=5, n_probes=8,
+)
+
+
+@pytest.fixture(scope="session")
+def mlp_config() -> PipelineConfig:
+    return MLP_CONFIG
+
+
+@pytest.fixture(scope="session")
+def bsb_config() -> PipelineConfig:
+    return BSB_CONFIG
+
+
+@pytest.fixture(scope="session")
+def mlp_artifact():
+    """A small two-layer MLP pipeline, programmed once per session."""
+    return program_pipeline(MLP_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def bsb_artifact():
+    """A small BSB recall pipeline, programmed once per session."""
+    return program_pipeline(BSB_CONFIG)

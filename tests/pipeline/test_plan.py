@@ -1,0 +1,210 @@
+"""Pipeline planning: configs, cache keys, programming, persistence."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.nn.bsb import BSBConfig
+from repro.nn.mlp import MLPConfig
+from repro.pipeline import (
+    PipelineArtifact,
+    PipelineConfig,
+    bsb_prototypes,
+    offline_engine,
+    pipeline_key,
+    program_pipeline,
+    trained_weights_key,
+)
+from repro.runtime.cache import ArtifactCache, stable_key
+
+
+class TestPipelineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            PipelineConfig(kind="rnn")
+        with pytest.raises(ValueError, match="image_size"):
+            PipelineConfig(image_size=9)
+        with pytest.raises(ValueError, match="hidden"):
+            PipelineConfig(hidden=0)
+        with pytest.raises(ValueError, match="n_probes"):
+            PipelineConfig(n_train=10, n_probes=11)
+        with pytest.raises(ValueError, match="n_prototypes"):
+            PipelineConfig(kind="bsb", n_prototypes=11)
+        with pytest.raises(ValueError, match="ir_mode"):
+            PipelineConfig(ir_mode="magic")
+
+    def test_frozen_and_hashable(self):
+        config = PipelineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.sigma = 0.5
+        assert hash(config) == hash(PipelineConfig())
+
+    def test_training_sub_configs_are_cache_keyable(self):
+        # Satellite: the frozen training recipes must flow through
+        # stable_key unchanged, so trained weights cache by config.
+        config = PipelineConfig()
+        assert isinstance(config.mlp_config(), MLPConfig)
+        assert isinstance(config.bsb_config(), BSBConfig)
+        key = stable_key("t", {
+            "mlp": config.mlp_config(), "bsb": config.bsb_config(),
+        })
+        assert key == stable_key("t", {
+            "mlp": config.mlp_config(), "bsb": config.bsb_config(),
+        })
+
+    def test_dataset_matches_geometry(self, mlp_config):
+        data = mlp_config.dataset()
+        assert data.n_features == mlp_config.n_features
+        assert data.x_train.shape[0] == mlp_config.n_train
+
+
+class TestKeys:
+    def test_pipeline_key_stable_and_field_sensitive(self):
+        a = PipelineConfig(seed=1)
+        assert pipeline_key(a) == pipeline_key(PipelineConfig(seed=1))
+        assert pipeline_key(a) != pipeline_key(PipelineConfig(seed=2))
+        assert pipeline_key(a) != pipeline_key(
+            PipelineConfig(seed=1, sigma=0.3)
+        )
+
+    def test_weights_key_ignores_fabric_fields(self):
+        # Retraining is skipped when only the hardware changes.
+        base = PipelineConfig(seed=1)
+        assert trained_weights_key(base) == trained_weights_key(
+            PipelineConfig(seed=1, sigma=0.9, tile_rows=8,
+                           ir_mode="nodal", n_probes=4)
+        )
+        assert trained_weights_key(base) != trained_weights_key(
+            PipelineConfig(seed=1, hidden=8)
+        )
+        assert trained_weights_key(base) != trained_weights_key(
+            PipelineConfig(seed=1, kind="bsb")
+        )
+
+
+class TestBSBPrototypes:
+    def test_bipolar_and_deterministic(self, bsb_config):
+        data = bsb_config.dataset()
+        protos = bsb_prototypes(data, bsb_config.n_prototypes)
+        assert protos.shape == (
+            bsb_config.n_prototypes, bsb_config.n_features
+        )
+        assert np.all(np.isin(protos, (-1.0, 1.0)))
+        assert np.array_equal(
+            protos, bsb_prototypes(data, bsb_config.n_prototypes)
+        )
+
+    def test_prototypes_are_distinct(self, bsb_config):
+        protos = bsb_prototypes(
+            bsb_config.dataset(), bsb_config.n_prototypes
+        )
+        for i in range(len(protos)):
+            for j in range(i + 1, len(protos)):
+                assert not np.array_equal(protos[i], protos[j])
+
+
+class TestProgramPipeline:
+    def test_mlp_stack_shapes(self, mlp_config, mlp_artifact):
+        n = mlp_config.n_features
+        assert mlp_artifact.n_layers == 2
+        assert mlp_artifact.shapes == [
+            (n, mlp_config.hidden), (mlp_config.hidden, 10),
+        ]
+        assert mlp_artifact.activation == {"kind": "relu_clip"}
+        assert mlp_artifact.hidden_gain > 0
+        w = mlp_artifact.mlp_weights()
+        assert mlp_artifact.scales[0] == float(np.max(np.abs(w.w1)))
+        assert mlp_artifact.scales[1] == float(np.max(np.abs(w.w2)))
+
+    def test_bsb_stack_shapes(self, bsb_config, bsb_artifact):
+        n = bsb_config.n_features
+        assert bsb_artifact.n_layers == 1
+        assert bsb_artifact.shapes == [(n, n)]
+        assert bsb_artifact.activation["kind"] == "bsb"
+        assert bsb_artifact.prototypes.shape == (
+            bsb_config.n_prototypes, n
+        )
+        assert isinstance(bsb_artifact.bsb_dynamics(), BSBConfig)
+
+    def test_kind_helpers_reject_wrong_kind(
+        self, mlp_artifact, bsb_artifact
+    ):
+        with pytest.raises(ValueError, match="MLP"):
+            bsb_artifact.mlp_weights()
+        with pytest.raises(ValueError, match="BSB"):
+            mlp_artifact.bsb_dynamics()
+
+    def test_dataset_geometry_validated(self, mlp_config):
+        wider = dataclasses.replace(mlp_config, image_size=14)
+        with pytest.raises(ValueError, match="features"):
+            program_pipeline(wider, dataset=mlp_config.dataset())
+
+    def test_deterministic_reprogramming(self, mlp_config, mlp_artifact):
+        again = program_pipeline(mlp_config)
+        for a, b in zip(mlp_artifact.layers, again.layers):
+            for sa, sb in zip(a.shards, b.shards):
+                assert np.array_equal(sa.g_pos, sb.g_pos)
+                assert np.array_equal(sa.baseline, sb.baseline)
+        assert again.hidden_gain == mlp_artifact.hidden_gain
+
+
+class TestPersistence:
+    def test_round_trip_is_bit_identical(
+        self, tmp_path, mlp_config, mlp_artifact
+    ):
+        cache = ArtifactCache(tmp_path)
+        key = mlp_artifact.save(cache, pipeline_key(mlp_config))
+        loaded = PipelineArtifact.load(cache, key)
+        assert loaded.config == mlp_config
+        assert loaded.scales == mlp_artifact.scales
+        assert loaded.hidden_gain == mlp_artifact.hidden_gain
+        assert loaded.activation == mlp_artifact.activation
+        for a, b in zip(
+            mlp_artifact.layer_weights, loaded.layer_weights
+        ):
+            assert np.array_equal(a, b)
+        x = mlp_config.dataset().x_test[:16]
+        assert np.array_equal(
+            offline_engine(loaded).forward(x),
+            offline_engine(mlp_artifact).forward(x),
+        )
+
+    def test_bsb_round_trip_keeps_prototypes(
+        self, tmp_path, bsb_config, bsb_artifact
+    ):
+        cache = ArtifactCache(tmp_path)
+        key = bsb_artifact.save(cache, pipeline_key(bsb_config))
+        loaded = PipelineArtifact.load(cache, key)
+        assert np.array_equal(loaded.prototypes, bsb_artifact.prototypes)
+        assert loaded.bsb_dynamics() == bsb_artifact.bsb_dynamics()
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(KeyError, match="pipeline"):
+            PipelineArtifact.load(ArtifactCache(tmp_path), "deadbeef")
+
+    def test_program_with_cache_stores_and_restores(
+        self, tmp_path, mlp_config
+    ):
+        cache = ArtifactCache(tmp_path)
+        artifact = program_pipeline(mlp_config, cache=cache)
+        loaded = PipelineArtifact.load(cache, pipeline_key(mlp_config))
+        x = mlp_config.dataset().x_test[:8]
+        assert np.array_equal(
+            offline_engine(loaded).forward(x),
+            offline_engine(artifact).forward(x),
+        )
+
+    def test_trained_weights_cached_across_fabrics(
+        self, tmp_path, mlp_config
+    ):
+        # Same training recipe, different fabric: the second program
+        # call must reuse the cached software weights bit for bit.
+        cache = ArtifactCache(tmp_path)
+        first = program_pipeline(mlp_config, cache=cache)
+        sibling = dataclasses.replace(mlp_config, sigma=0.4)
+        second = program_pipeline(sibling, cache=cache)
+        for a, b in zip(first.layer_weights, second.layer_weights):
+            assert np.array_equal(a, b)

@@ -169,6 +169,25 @@ class TestScheduling:
         assert log.dropped_requests == 1
         assert any(not r.ok for r in log.requests)
 
+    def test_deadline_miss_counter_tracks_drops(self):
+        gate = threading.Event()
+        engine = FakeEngine(gate=gate)
+        sched = BatchScheduler(engine, max_batch=8)
+        assert sched.deadline_misses == 0
+        blocker = sched.submit(np.ones(4))
+        assert engine.entered.wait(timeout=5.0)
+        doomed = [
+            sched.submit(np.ones(4), deadline_s=0.01) for _ in range(3)
+        ]
+        time.sleep(0.05)
+        gate.set()
+        assert blocker.result(timeout=5.0) is not None
+        for future in doomed:
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=5.0)
+        sched.shutdown()
+        assert sched.deadline_misses == 3
+
     def test_graceful_shutdown_answers_queued_requests(self):
         gate = threading.Event()
         engine = FakeEngine(gate=gate)

@@ -335,6 +335,110 @@ class TestFleetProgramAndStatus:
         assert all(lane["alive"] for lane in shard["replicas"])
 
 
+class TestPipelineParser:
+    def test_program_defaults(self):
+        args = build_parser().parse_args(
+            ["pipeline", "program", "--cache-dir", "/tmp/c"]
+        )
+        assert args.command == "pipeline"
+        assert args.pipeline_command == "program"
+        assert args.kind == "mlp"
+        assert args.image_size == 7
+        assert args.hidden == 32
+        assert args.tile_rows == 32
+
+    def test_serve_requires_io_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["pipeline", "serve", "--cache-dir", "/tmp/c",
+                 "--pipeline", "k"]
+            )
+
+    def test_eval_defaults(self):
+        args = build_parser().parse_args([
+            "pipeline", "eval", "--cache-dir", "/tmp/c",
+            "--pipeline", "k",
+        ])
+        assert args.pipeline_command == "eval"
+        assert args.replicas == 1
+        assert args.n_test == 200
+        assert args.flip_fraction == 0.1
+
+
+class TestPipelineCommands:
+    def test_program_eval_and_serve_stdin(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import io
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "pipeline", "program", "--cache-dir", cache_dir,
+            "--image-size", "7", "--n-train", "120", "--hidden", "10",
+            "--epochs", "30", "--tile-rows", "20", "--seed", "4",
+            "--n-probes", "8",
+        ]
+        assert main(argv) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["status"] == "programmed"
+        assert summary["kind"] == "mlp"
+        assert summary["n_layers"] == 2
+        assert summary["shapes"] == [[49, 10], [10, 10]]
+
+        # Identical settings are a pure cache read.
+        assert main(argv) == 0
+        assert json.loads(capsys.readouterr().out)["status"] == "cached"
+
+        assert main([
+            "pipeline", "eval", "--cache-dir", cache_dir,
+            "--pipeline", summary["key"], "--n-test", "24",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "mlp"
+        assert report["bit_identical"] is True
+        assert report["deadline_misses"] == 0
+        assert 0.0 <= report["accuracy"] <= 1.0
+
+        line = ",".join(["0.2"] * 49)
+        monkeypatch.setattr("sys.stdin", io.StringIO(line + "\n\n"))
+        assert main([
+            "pipeline", "serve", "--cache-dir", cache_dir,
+            "--pipeline", summary["key"], "--stdin",
+        ]) == 0
+        captured = capsys.readouterr()
+        answers = [
+            json.loads(text)
+            for text in captured.out.splitlines() if text
+        ]
+        assert len(answers) == 1
+        assert len(answers[0]["scores"]) == 10
+
+    def test_bsb_eval_reports_recall(self, tmp_path, capsys):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        assert main([
+            "pipeline", "program", "--cache-dir", cache_dir,
+            "--kind", "bsb", "--image-size", "7", "--n-train", "120",
+            "--n-prototypes", "3", "--tile-rows", "25", "--seed", "5",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kind"] == "bsb"
+        assert summary["n_layers"] == 1
+
+        assert main([
+            "pipeline", "eval", "--cache-dir", cache_dir,
+            "--pipeline", summary["key"],
+            "--probes-per-prototype", "2",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["kind"] == "bsb"
+        assert report["bit_identical"] is True
+        assert report["recall"]["recalls"] == 6
+        assert 0.0 <= report["recall_success_rate"] <= 1.0
+
+
 class TestCacheCommands:
     def test_stats_on_empty_cache(self, tmp_path, capsys):
         import json
