@@ -23,6 +23,8 @@ import os
 from pathlib import Path
 from typing import Iterator
 
+from repro.config import NODAL_SOLVERS
+
 __all__ = ["RuntimeConfig", "current_runtime", "use_runtime", "resolve_jobs"]
 
 
@@ -47,6 +49,14 @@ class RuntimeConfig:
             running the numpy reference path, so flipping this switch
             can accelerate but never break an experiment.  Availability
             is checked lazily at the first backend-aware call.
+        nodal_solver: Default solver for ``ir_mode="nodal"`` reads
+            (one of :data:`~repro.config.NODAL_SOLVERS`); crossbars
+            whose :class:`~repro.config.CrossbarConfig` pins an
+            explicit ``nodal_solver`` keep their own.  Like ``backend``,
+            this knob never participates in seeding or cache keys:
+            every solver answers the same circuit system, so switching
+            it changes wall-clock and last-ulp rounding only (see
+            ``docs/ir_drop.md`` for the tolerance contract).
     """
 
     jobs: int = 1
@@ -54,6 +64,7 @@ class RuntimeConfig:
     use_cache: bool = True
     chunk_size: int | None = None
     backend: str = "numpy"
+    nodal_solver: str = "lu"
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -61,6 +72,11 @@ class RuntimeConfig:
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError(
                 f"chunk_size must be >= 1, got {self.chunk_size}"
+            )
+        if self.nodal_solver not in NODAL_SOLVERS:
+            raise ValueError(
+                f"nodal_solver must be one of {NODAL_SOLVERS}, "
+                f"got {self.nodal_solver!r}"
             )
 
     @property

@@ -1,4 +1,4 @@
-"""Full sparse nodal analysis of a memristor crossbar.
+"""Full nodal analysis of a memristor crossbar, with pluggable solvers.
 
 This is the circuit-level ground truth for the IR-drop studies of
 Section 3.2.  The crossbar is modelled as the complete resistive
@@ -26,6 +26,26 @@ same code answers both questions of the paper:
 * **Program mode** -- the V/2 scheme of Section 2.2.2: one word line at
   V, one bit line at 0, everything else at V/2; the output of interest
   is the voltage actually delivered across the selected cell.
+
+Three interchangeable solvers answer the system (see
+:mod:`repro.xbar.solvers` and ``docs/ir_drop.md``):
+
+* ``"lu"`` -- generic sparse LU (``splu``) over the full ``2*n*m``
+  Laplacian.  The bit-exact oracle every other path is tested against.
+* ``"schur"`` -- eliminate the top plane by banded ladder solves and
+  factorise only the reduced SPD ``n*m`` system (bandwidth ``m``).
+  Matches the oracle to <= 1e-9 relative error on column currents.
+* ``"cg"`` -- matrix-free conjugate gradients preconditioned by a
+  factorisation of the *nominal* conductance state, which
+  :meth:`CrossbarNetwork.update_conductance` deliberately keeps: a
+  Monte-Carlo sweep refactorises nothing, each variation draw only
+  iterates.  Deterministic (fixed tolerance and iteration order) and
+  accurate to the documented :data:`repro.xbar.solvers.CG_CURRENT_RTOL`.
+
+The sparsity *structure* (COO index arrays, wire values, wire-fixed
+diagonal) depends only on the geometry, so it is assembled once and
+reused across every ``update_conductance``: a conductance change is a
+values-only rewrite, never an index rebuild.
 """
 
 from __future__ import annotations
@@ -36,20 +56,28 @@ import numpy as np
 from scipy.sparse import coo_matrix, csc_matrix
 from scipy.sparse.linalg import splu
 
-__all__ = ["NodalSolution", "CrossbarNetwork"]
+from repro.xbar.solvers import (
+    NODAL_SOLVERS,
+    SchurFactor,
+    cg_nodal_solve,
+    validate_solver,
+)
+
+__all__ = ["NodalSolution", "CrossbarNetwork", "NODAL_SOLVERS"]
 
 
 @dataclasses.dataclass
 class NodalSolution:
-    """Result of one nodal solve.
+    """Result of one nodal solve (or a batch of them).
 
     Attributes:
-        v_top: Word-line plane node voltages, shape ``(n, m)``.
-        v_bottom: Bit-line plane node voltages, shape ``(n, m)``.
-        device_voltage: Voltage across each memristor, ``(n, m)``.
-        device_current: Current through each memristor, ``(n, m)``.
+        v_top: Word-line plane node voltages, shape ``(n, m)`` for a
+            scalar solve, ``(B, n, m)`` from :meth:`CrossbarNetwork.solve_batch`.
+        v_bottom: Bit-line plane node voltages, same shape.
+        device_voltage: Voltage across each memristor, same shape.
+        device_current: Current through each memristor, same shape.
         column_current: Current delivered into each bit-line
-            termination, shape ``(m,)``.
+            termination, shape ``(m,)`` (or ``(B, m)``).
     """
 
     v_top: np.ndarray
@@ -60,18 +88,26 @@ class NodalSolution:
 
 
 class CrossbarNetwork:
-    """Sparse nodal model of an ``n x m`` crossbar with wire resistance.
+    """Nodal model of an ``n x m`` crossbar with wire resistance.
 
     Args:
         conductance: Memristor conductance matrix ``G``, shape
             ``(n, m)``, in Siemens.
         r_wire: Wire segment resistance in Ohm (> 0).
+        solver: Which factorisation answers the solves -- one of
+            :data:`~repro.config.NODAL_SOLVERS` (default ``"lu"``).
 
     The conductance matrix is captured at construction; build a new
     network (or call :meth:`update_conductance`) after reprogramming.
+    The state captured at construction also becomes the *nominal*
+    state of the cg preconditioner, which ``update_conductance``
+    deliberately does not invalidate (see
+    :meth:`set_preconditioner_state`).
     """
 
-    def __init__(self, conductance: np.ndarray, r_wire: float):
+    def __init__(
+        self, conductance: np.ndarray, r_wire: float, solver: str = "lu"
+    ):
         conductance = np.asarray(conductance, dtype=float)
         if conductance.ndim != 2:
             raise ValueError("conductance must be a 2-D matrix")
@@ -84,7 +120,49 @@ class CrossbarNetwork:
         self.g = conductance
         self.n, self.m = conductance.shape
         self.r_wire = float(r_wire)
+        self.solver = validate_solver(solver)
+        self._structure: dict[str, np.ndarray] | None = None
         self._lu = None
+        self._schur: SchurFactor | None = None
+        self._precond: SchurFactor | None = None
+        self._precond_g = self.g.copy()
+        #: Blocked iterations of the most recent cg solve (diagnostic).
+        self.last_cg_iterations = 0
+
+    # ------------------------------------------------------------------
+    # solver selection
+    # ------------------------------------------------------------------
+    def set_solver(self, solver: str) -> None:
+        """Switch the answering solver; cached factors stay per-path."""
+        self.solver = validate_solver(solver)
+
+    def set_preconditioner_state(
+        self, conductance: np.ndarray | None = None
+    ) -> None:
+        """Re-anchor the cg preconditioner on a nominal state.
+
+        Args:
+            conductance: The nominal (pre-variation) conductance state
+                to factorise; the network's *current* state when
+                ``None``.
+
+        The preconditioner survives :meth:`update_conductance` by
+        design -- that is what lets a Monte-Carlo chunk reuse one
+        factorisation across every draw -- so re-anchor it explicitly
+        when the network moves to a genuinely different operating point
+        (e.g. after reprogramming to new targets).
+        """
+        g = self.g if conductance is None else np.asarray(
+            conductance, dtype=float
+        )
+        if g.shape != (self.n, self.m):
+            raise ValueError(
+                f"expected shape {(self.n, self.m)}, got {g.shape}"
+            )
+        if np.any(g <= 0):
+            raise ValueError("conductances must be strictly positive")
+        self._precond_g = g.copy()
+        self._precond = None
 
     # ------------------------------------------------------------------
     # assembly
@@ -95,72 +173,99 @@ class CrossbarNetwork:
     def _bottom(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
         return self.n * self.m + i * self.m + j
 
-    def _assemble(self) -> None:
-        """Build and factorise the conductance (Laplacian) matrix."""
+    def _build_structure(self) -> dict[str, np.ndarray]:
+        """Geometry-only sparsity structure, assembled exactly once.
+
+        Returns the COO index arrays with the memristor entries first
+        (two directed entries per device, then the fixed wire entries,
+        then the diagonal), the constant wire values, and the
+        wire-resistance part of the diagonal.  ``update_conductance``
+        then only rewrites values: the device entries are ``-g`` twice
+        and the diagonal is wire-fixed plus a scatter of ``g`` onto
+        both planes.
+        """
         n, m = self.n, self.m
         g_w = 1.0 / self.r_wire
-        rows: list[np.ndarray] = []
-        cols: list[np.ndarray] = []
-        vals: list[np.ndarray] = []
-        diag = np.zeros(2 * n * m)
-
-        def add_edge(a: np.ndarray, b: np.ndarray, g: np.ndarray) -> None:
-            rows.append(a)
-            cols.append(b)
-            vals.append(-g)
-            rows.append(b)
-            cols.append(a)
-            vals.append(-g)
-            np.add.at(diag, a, g)
-            np.add.at(diag, b, g)
+        size = 2 * n * m
 
         ii, jj = np.meshgrid(np.arange(n), np.arange(m), indexing="ij")
-        ii = ii.ravel()
-        jj = jj.ravel()
+        top_idx = self._top(ii.ravel(), jj.ravel())
+        bottom_idx = self._bottom(ii.ravel(), jj.ravel())
+        rows = [top_idx, bottom_idx]
+        cols = [bottom_idx, top_idx]
 
-        # Memristors: top(i,j) -- bottom(i,j).
-        add_edge(self._top(ii, jj), self._bottom(ii, jj), self.g.ravel())
+        wire_rows: list[np.ndarray] = []
+        wire_cols: list[np.ndarray] = []
+        wire_vals: list[np.ndarray] = []
+        wire_diag = np.zeros(size)
+
+        def add_wire_edges(a: np.ndarray, b: np.ndarray) -> None:
+            wire_rows.extend([a, b])
+            wire_cols.extend([b, a])
+            wire_vals.append(np.full(2 * a.size, -g_w))
+            np.add.at(wire_diag, a, g_w)
+            np.add.at(wire_diag, b, g_w)
 
         # Word-line segments: top(i,j) -- top(i,j+1).
         ih, jh = np.meshgrid(np.arange(n), np.arange(m - 1), indexing="ij")
-        ih = ih.ravel()
-        jh = jh.ravel()
+        ih, jh = ih.ravel(), jh.ravel()
         if ih.size:
-            add_edge(
-                self._top(ih, jh),
-                self._top(ih, jh + 1),
-                np.full(ih.size, g_w),
-            )
+            add_wire_edges(self._top(ih, jh), self._top(ih, jh + 1))
 
         # Bit-line segments: bottom(i,j) -- bottom(i+1,j).
         iv, jv = np.meshgrid(np.arange(n - 1), np.arange(m), indexing="ij")
-        iv = iv.ravel()
-        jv = jv.ravel()
+        iv, jv = iv.ravel(), jv.ravel()
         if iv.size:
-            add_edge(
-                self._bottom(iv, jv),
-                self._bottom(iv + 1, jv),
-                np.full(iv.size, g_w),
-            )
+            add_wire_edges(self._bottom(iv, jv), self._bottom(iv + 1, jv))
 
         # Driver connections add g_w to the diagonal of boundary nodes;
         # the source current enters through the right-hand side.
         left = self._top(np.arange(n), np.zeros(n, dtype=int))
-        np.add.at(diag, left, g_w)
+        np.add.at(wire_diag, left, g_w)
         bottom = self._bottom(np.full(m, n - 1), np.arange(m))
-        np.add.at(diag, bottom, g_w)
+        np.add.at(wire_diag, bottom, g_w)
 
+        diag_idx = np.arange(size)
+        return {
+            "rows": np.concatenate(rows + wire_rows + [diag_idx]),
+            "cols": np.concatenate(cols + wire_cols + [diag_idx]),
+            "wire_vals": (
+                np.concatenate(wire_vals) if wire_vals else np.zeros(0)
+            ),
+            "wire_diag": wire_diag,
+            "left": left,
+            "bottom": bottom,
+        }
+
+    def _get_structure(self) -> dict[str, np.ndarray]:
+        if self._structure is None:
+            self._structure = self._build_structure()
+        return self._structure
+
+    def _assemble_lu(self) -> None:
+        """Values-only rebuild of the LU factor on cached structure."""
+        st = self._get_structure()
+        n, m = self.n, self.m
         size = 2 * n * m
-        all_rows = np.concatenate(rows + [np.arange(size)])
-        all_cols = np.concatenate(cols + [np.arange(size)])
-        all_vals = np.concatenate(vals + [diag])
+        gm = self.g.ravel()
+        diag = st["wire_diag"].copy()
+        diag[: n * m] += gm
+        diag[n * m :] += gm
+        vals = np.concatenate([-gm, -gm, st["wire_vals"], diag])
         matrix = coo_matrix(
-            (all_vals, (all_rows, all_cols)), shape=(size, size)
+            (vals, (st["rows"], st["cols"])), shape=(size, size)
         )
         self._lu = splu(csc_matrix(matrix))
 
     def update_conductance(self, conductance: np.ndarray) -> None:
-        """Replace the device conductances and invalidate the factor."""
+        """Replace the device conductances and invalidate the factors.
+
+        The sparsity structure and the cg preconditioner both survive:
+        the structure because it depends only on the geometry, the
+        preconditioner because Monte-Carlo draws are perturbations of
+        the same nominal state (re-anchor it via
+        :meth:`set_preconditioner_state` after a genuine reprogram).
+        """
         conductance = np.asarray(conductance, dtype=float)
         if conductance.shape != (self.n, self.m):
             raise ValueError(
@@ -170,10 +275,40 @@ class CrossbarNetwork:
             raise ValueError("conductances must be strictly positive")
         self.g = conductance
         self._lu = None
+        self._schur = None
 
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
+    def _get_lu(self):
+        if self._lu is None:
+            self._assemble_lu()
+        return self._lu
+
+    def _get_schur(self) -> SchurFactor:
+        if self._schur is None:
+            self._schur = SchurFactor(self.g, self.r_wire)
+        return self._schur
+
+    def _get_precond(self) -> SchurFactor:
+        if self._precond is None:
+            self._precond = SchurFactor(self._precond_g, self.r_wire)
+        return self._precond
+
+    def _solve_rhs(self, rhs: np.ndarray) -> np.ndarray:
+        """Dispatch ``A x = rhs`` (single or multi-RHS) to the solver."""
+        if self.solver == "schur":
+            return self._get_schur().solve(rhs)
+        if self.solver == "cg":
+            single = rhs.ndim == 1
+            block = rhs[:, None] if single else rhs
+            v, iterations = cg_nodal_solve(
+                self.g[None], block[None], self.r_wire, self._get_precond()
+            )
+            self.last_cg_iterations = iterations
+            return v[0][:, 0] if single else v[0]
+        return self._get_lu().solve(rhs)
+
     def solve(
         self, v_rows: np.ndarray, v_cols: np.ndarray | float = 0.0
     ) -> NodalSolution:
@@ -187,27 +322,75 @@ class CrossbarNetwork:
         Returns:
             A :class:`NodalSolution` with node voltages and currents.
         """
-        if self._lu is None:
-            self._assemble()
         n, m = self.n, self.m
         v_rows = np.asarray(v_rows, dtype=float)
         if v_rows.shape != (n,):
             raise ValueError(f"v_rows must have shape ({n},), got {v_rows.shape}")
         v_cols = np.broadcast_to(np.asarray(v_cols, dtype=float), (m,))
         g_w = 1.0 / self.r_wire
+        st = self._get_structure()
 
         rhs = np.zeros(2 * n * m)
-        left = self._top(np.arange(n), np.zeros(n, dtype=int))
-        rhs[left] = v_rows * g_w
-        bottom = self._bottom(np.full(m, n - 1), np.arange(m))
-        rhs[bottom] += v_cols * g_w
+        rhs[st["left"]] = v_rows * g_w
+        rhs[st["bottom"]] += v_cols * g_w
 
-        v = self._lu.solve(rhs)
+        v = self._solve_rhs(rhs)
         v_top = v[: n * m].reshape(n, m)
         v_bottom = v[n * m :].reshape(n, m)
         dv = v_top - v_bottom
         i_dev = dv * self.g
         i_col = (v_bottom[n - 1, :] - v_cols) * g_w
+        return NodalSolution(
+            v_top=v_top,
+            v_bottom=v_bottom,
+            device_voltage=dv,
+            device_current=i_dev,
+            column_current=i_col,
+        )
+
+    def solve_batch(
+        self, v_rows: np.ndarray, v_cols: np.ndarray | float = 0.0
+    ) -> NodalSolution:
+        """Solve a batch of driver configurations against one factor.
+
+        The multi-right-hand-side companion of :meth:`solve`: all ``B``
+        configurations share the factorisation (or the blocked cg
+        iteration), which is what makes V/2 program-mode sweeps and
+        defect pretests cheap -- they stop paying the solve dispatch
+        per probed cell.
+
+        Args:
+            v_rows: Word-line driver voltages, shape ``(B, n)``.
+            v_cols: Bit-line termination voltages: scalar, ``(m,)``
+                shared by the batch, or per-configuration ``(B, m)``.
+
+        Returns:
+            A :class:`NodalSolution` whose fields carry a leading batch
+            axis (``(B, n, m)`` planes, ``(B, m)`` column currents).
+        """
+        n, m = self.n, self.m
+        v_rows = np.asarray(v_rows, dtype=float)
+        if v_rows.ndim != 2 or v_rows.shape[1] != n:
+            raise ValueError(
+                f"v_rows must have shape (B, {n}), got {v_rows.shape}"
+            )
+        batch = v_rows.shape[0]
+        v_cols = np.broadcast_to(
+            np.asarray(v_cols, dtype=float), (batch, m)
+        )
+        g_w = 1.0 / self.r_wire
+        st = self._get_structure()
+
+        rhs = np.zeros((2 * n * m, batch))
+        rhs[st["left"], :] = v_rows.T * g_w
+        rhs[st["bottom"], :] += v_cols.T * g_w
+
+        v = self._solve_rhs(rhs)
+        v_top = v[: n * m].T.reshape(batch, n, m)
+        v_bottom = v[n * m :].T.reshape(batch, n, m)
+        dv = v_top - v_bottom
+        i_dev = dv * self.g[None, :, :]
+        i_col = (v_bottom[:, n - 1, :] - v_cols) * g_w
         return NodalSolution(
             v_top=v_top,
             v_bottom=v_bottom,
@@ -226,19 +409,30 @@ class CrossbarNetwork:
             raise ValueError(f"x must have shape ({self.n},), got {x.shape}")
         return self.solve(x * v_read, 0.0).column_current
 
-    def read_batch(self, x: np.ndarray, v_read: float = 1.0) -> np.ndarray:
+    def read_batch(
+        self,
+        x: np.ndarray,
+        v_read: float = 1.0,
+        v_cols: np.ndarray | float = 0.0,
+    ) -> np.ndarray:
         """Column output currents for a batch of read inputs.
 
-        One sparse factorisation serves the whole batch: the LU factor
-        of the network Laplacian depends only on the conductance state,
-        so ``s`` inputs are solved as ``s`` right-hand sides of the same
-        factor.  This is what makes batched inference serving cheap --
-        the dominant cost of a nodal read (the factorisation) is paid
-        once per programmed state rather than once per query.
+        One factorisation (or blocked cg solve) serves the whole batch:
+        the factor depends only on the conductance state, so ``s``
+        inputs are solved as ``s`` right-hand sides.  This is what
+        makes batched inference serving cheap -- the dominant cost of a
+        nodal read is paid once per programmed state rather than once
+        per query.
 
         Args:
             x: Inputs in [0, 1], shape ``(s, n)`` or a single ``(n,)``.
             v_read: Read voltage scale.
+            v_cols: Bit-line termination voltages: scalar (0 = the
+                virtual-ground sensing default), ``(m,)`` shared by the
+                batch, or per-input ``(s, m)``.  Matches the looped
+                :meth:`read`/:meth:`solve` semantics exactly -- the
+                returned current is the current *into* each
+                termination, ``(v_bottom - v_cols) * g_w``.
 
         Returns:
             Currents, shape ``(s, m)`` (or ``(m,)`` for 1-D input).
@@ -250,17 +444,18 @@ class CrossbarNetwork:
             raise ValueError(
                 f"inputs must have {self.n} features, got {xb.shape[1]}"
             )
-        if self._lu is None:
-            self._assemble()
         n, m = self.n, self.m
+        batch = xb.shape[0]
+        v_cols = np.broadcast_to(
+            np.asarray(v_cols, dtype=float), (batch, m)
+        )
         g_w = 1.0 / self.r_wire
-        rhs = np.zeros((2 * n * m, xb.shape[0]))
-        left = self._top(np.arange(n), np.zeros(n, dtype=int))
-        rhs[left, :] = (xb * v_read).T * g_w
-        v = self._lu.solve(rhs)
-        bottom = self._bottom(np.full(m, n - 1), np.arange(m))
-        # Bit lines are virtually grounded during reads (v_cols = 0).
-        i_col = v[bottom, :] * g_w
+        st = self._get_structure()
+        rhs = np.zeros((2 * n * m, batch))
+        rhs[st["left"], :] = (xb * v_read).T * g_w
+        rhs[st["bottom"], :] += v_cols.T * g_w
+        v = self._solve_rhs(rhs)
+        i_col = (v[st["bottom"], :] - v_cols.T) * g_w
         return i_col[:, 0] if single else i_col.T
 
     def program_voltages(
@@ -280,6 +475,40 @@ class CrossbarNetwork:
         v_cols = np.full(self.m, v_prog / 2.0)
         v_cols[col] = 0.0
         return self.solve(v_rows, v_cols)
+
+    def program_voltages_batch(
+        self, cells: np.ndarray, v_prog: float
+    ) -> NodalSolution:
+        """Batched V/2-scheme solves, one per selected cell.
+
+        Args:
+            cells: Selected cells as ``(B, 2)`` ``(row, col)`` pairs
+                (or any sequence of pairs).
+            v_prog: Nominal programming voltage.
+
+        Returns:
+            A batched :class:`NodalSolution`; the delivered voltage of
+            probe ``b`` is ``device_voltage[b, rows[b], cols[b]]``.
+        """
+        cells = np.asarray(cells, dtype=int)
+        cells = np.atleast_2d(cells)
+        if cells.ndim != 2 or cells.shape[1] != 2:
+            raise ValueError(
+                f"cells must be (B, 2) (row, col) pairs, got {cells.shape}"
+            )
+        rows, cols = cells[:, 0], cells[:, 1]
+        if np.any((rows < 0) | (rows >= self.n)) or np.any(
+            (cols < 0) | (cols >= self.m)
+        ):
+            raise IndexError(
+                f"cell outside {self.n}x{self.m} in program batch"
+            )
+        batch = cells.shape[0]
+        v_rows = np.full((batch, self.n), v_prog / 2.0)
+        v_rows[np.arange(batch), rows] = v_prog
+        v_cols = np.full((batch, self.m), v_prog / 2.0)
+        v_cols[np.arange(batch), cols] = 0.0
+        return self.solve_batch(v_rows, v_cols)
 
     def ideal_read(self, x: np.ndarray, v_read: float = 1.0) -> np.ndarray:
         """Zero-wire-resistance reference: ``I = v_read * (x @ G)``."""

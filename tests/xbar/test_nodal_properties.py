@@ -1,0 +1,196 @@
+"""Physics property tests for the nodal ground truth.
+
+Whatever solver answers the system, the solution must be a valid
+circuit: Kirchhoff's current law holds at every node, the current the
+drivers inject equals the current the terminations collect, and the
+batched read path is exactly the looped one -- including at nonzero
+bit-line termination voltages (the regression of the silent
+grounded-bit-line assumption the old ``read_batch`` carried).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import NODAL_SOLVERS
+from repro.xbar.nodal import CrossbarNetwork
+from repro.xbar.solvers import nodal_operator_apply
+
+GEOMETRIES = [(8, 5), (3, 7), (16, 16), (30, 1), (1, 6)]
+
+#: KCL residual budget relative to the driving current scale.  The lu
+#: oracle sits at machine epsilon; cg is bounded by its solve tolerance.
+KCL_RTOL = 1e-6
+
+
+def random_conductance(n, m, seed=0):
+    rng = np.random.default_rng(seed)
+    return 1e-4 * np.exp(0.6 * rng.normal(size=(n, m)))
+
+
+def _solution_residual(network, v_rows, v_cols, solution):
+    """KCL residual ``A v - b`` at every node, as one (2, n, m) array.
+
+    ``A v`` comes from the matrix-free operator apply (independently
+    coded from every factorising solver), ``b`` from the driver
+    currents, so a small residual certifies both the solve and the
+    assembly against each other.
+    """
+    n, m = network.n, network.m
+    g_w = 1.0 / network.r_wire
+    v = np.stack([solution.v_top, solution.v_bottom])
+    applied = nodal_operator_apply(network.g, network.r_wire, v)
+    b = np.zeros((2, n, m))
+    b[0, :, 0] = np.asarray(v_rows) * g_w
+    b[1, n - 1, :] += np.broadcast_to(np.asarray(v_cols, dtype=float), (m,)) * g_w
+    return applied - b
+
+
+class TestKCL:
+    @pytest.mark.parametrize("n,m", GEOMETRIES)
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_current_conservation_every_node(self, n, m, solver):
+        """KCL holds at every node, not only the sensed boundary."""
+        network = CrossbarNetwork(
+            random_conductance(n, m), 2.5, solver=solver
+        )
+        rng = np.random.default_rng(1)
+        v_rows = rng.uniform(size=n)
+        v_cols = rng.uniform(size=m) * 0.1
+        solution = network.solve(v_rows, v_cols)
+        residual = _solution_residual(network, v_rows, v_cols, solution)
+        scale = np.abs(v_rows).max() / network.r_wire
+        assert np.abs(residual).max() / scale <= KCL_RTOL
+
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_driver_current_balance(self, solver):
+        """Injected word-line current equals collected column current.
+
+        The network has no other terminals, so conservation over the
+        whole circuit forces sum(driver currents) == sum(column
+        currents) whenever the terminations are grounded.
+        """
+        n, m = 20, 6
+        network = CrossbarNetwork(
+            random_conductance(n, m), 2.5, solver=solver
+        )
+        rng = np.random.default_rng(2)
+        v_rows = rng.uniform(size=n)
+        solution = network.solve(v_rows, 0.0)
+        g_w = 1.0 / network.r_wire
+        injected = np.sum((v_rows - solution.v_top[:, 0]) * g_w)
+        collected = np.sum(solution.column_current)
+        assert injected == pytest.approx(collected, rel=1e-6)
+
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_device_currents_sum_to_column_current(self, solver):
+        """Per-column device currents equal what the termination sees.
+
+        Within one bit line the device currents all flow to the bottom
+        termination (no other exit), so their sum must match
+        ``column_current`` when the bit lines are grounded.
+        """
+        n, m = 12, 4
+        network = CrossbarNetwork(
+            random_conductance(n, m), 2.5, solver=solver
+        )
+        solution = network.solve(np.linspace(0.1, 1.0, n), 0.0)
+        per_column = solution.device_current.sum(axis=0)
+        np.testing.assert_allclose(
+            per_column, solution.column_current, rtol=1e-6
+        )
+
+
+class TestReadBatchEquivalence:
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_read_batch_equals_looped_read(self, solver):
+        network = CrossbarNetwork(
+            random_conductance(10, 4), 2.5, solver=solver
+        )
+        rng = np.random.default_rng(3)
+        x = rng.uniform(size=(6, 10))
+        batched = network.read_batch(x, 0.9)
+        for s in range(6):
+            np.testing.assert_allclose(
+                batched[s], network.read(x[s], 0.9),
+                rtol=1e-9, atol=1e-18,
+            )
+
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_read_batch_supports_nonzero_v_cols(self, solver):
+        """Regression: the batched path honours v_cols.
+
+        The pre-subsystem ``read_batch`` silently computed
+        ``v_bottom * g_w`` -- correct only for grounded bit lines.  The
+        batched current must now equal the looped ``solve`` current at
+        any termination voltage, per input and shared alike.
+        """
+        n, m = 9, 5
+        network = CrossbarNetwork(
+            random_conductance(n, m), 2.5, solver=solver
+        )
+        rng = np.random.default_rng(4)
+        x = rng.uniform(size=(4, n))
+        shared = rng.uniform(size=m) * 0.2
+        per_input = rng.uniform(size=(4, m)) * 0.2
+        for v_cols in (shared, per_input):
+            batched = network.read_batch(x, 1.0, v_cols=v_cols)
+            for s in range(4):
+                vc = v_cols if v_cols.ndim == 1 else v_cols[s]
+                looped = network.solve(x[s], vc).column_current
+                np.testing.assert_allclose(
+                    batched[s], looped, rtol=1e-9,
+                    atol=1e-12 * np.abs(looped).max(),
+                )
+
+    def test_single_input_shape(self):
+        network = CrossbarNetwork(random_conductance(5, 3), 2.5)
+        single = network.read_batch(np.full(5, 0.5))
+        assert single.shape == (3,)
+        np.testing.assert_allclose(single, network.read(np.full(5, 0.5)))
+
+
+class TestBatchedSolvePaths:
+    @pytest.mark.parametrize("solver", NODAL_SOLVERS)
+    def test_solve_batch_equals_looped_solve(self, solver):
+        n, m = 11, 4
+        network = CrossbarNetwork(
+            random_conductance(n, m), 2.5, solver=solver
+        )
+        rng = np.random.default_rng(5)
+        v_rows = rng.uniform(size=(5, n))
+        v_cols = rng.uniform(size=(5, m)) * 0.3
+        batch = network.solve_batch(v_rows, v_cols)
+        assert batch.v_top.shape == (5, n, m)
+        for b in range(5):
+            one = network.solve(v_rows[b], v_cols[b])
+            np.testing.assert_allclose(
+                batch.v_top[b], one.v_top, rtol=1e-9, atol=1e-15
+            )
+            np.testing.assert_allclose(
+                batch.column_current[b], one.column_current,
+                rtol=1e-9, atol=1e-15,
+            )
+
+    def test_program_voltages_batch_equals_looped(self):
+        n, m = 14, 6
+        network = CrossbarNetwork(random_conductance(n, m), 2.5)
+        cells = np.array(
+            [(0, 0), (n - 1, m - 1), (n // 2, m // 2), (0, m - 1)]
+        )
+        batch = network.program_voltages_batch(cells, 2.9)
+        for idx, (row, col) in enumerate(cells):
+            one = network.program_voltages(int(row), int(col), 2.9)
+            np.testing.assert_allclose(
+                batch.device_voltage[idx], one.device_voltage,
+                rtol=1e-12, atol=1e-15,
+            )
+
+    def test_program_voltages_batch_validates_cells(self):
+        network = CrossbarNetwork(random_conductance(4, 4), 2.5)
+        with pytest.raises(IndexError, match="outside"):
+            network.program_voltages_batch([(0, 0), (4, 0)], 2.9)
+        with pytest.raises(ValueError, match="pairs"):
+            network.program_voltages_batch(np.zeros((2, 3), dtype=int),
+                                           2.9)
